@@ -1,0 +1,71 @@
+"""Ablation (beyond the paper's figures): the value of insular qubits.
+
+DESIGN.md calls out the insular-qubit optimisation as a load-bearing design
+choice: without it, every controlled-phase / diagonal gate would force its
+qubits into the local set and the stager would need far more stages (and
+therefore far more all-to-all exchanges).  This ablation quantifies that by
+staging the same circuits with insularity information withheld from the
+stager (every gate qubit treated as non-insular).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.reporting import geometric_mean
+from repro.circuits.library import get_circuit
+from repro.core.stage_heuristics import snuqs_stage_circuit
+from repro.core.stage import stage_circuit
+
+
+def _stage_count_without_insularity(circuit, local, regional, global_):
+    """Greedy staging that ignores insularity (every qubit must be local)."""
+    remaining = list(range(len(circuit)))
+    stages = 0
+    while remaining:
+        stages += 1
+        working: set[int] = set()
+        taken: set[int] = set()
+        blocked: set[int] = set()
+        for idx in remaining:
+            gate = circuit[idx]
+            qubits = set(gate.qubits)
+            if blocked & qubits:
+                blocked |= qubits
+                continue
+            if len(working | qubits) <= local:
+                working |= qubits
+                taken.add(idx)
+            else:
+                blocked |= qubits
+        if not taken:
+            raise RuntimeError("no progress")
+        remaining = [i for i in remaining if i not in taken]
+    return stages
+
+
+def test_insular_qubit_ablation(benchmark, families, local_qubits):
+    num_qubits = local_qubits + 4
+
+    def run():
+        rows = []
+        for family in families:
+            circuit = get_circuit(family, num_qubits)
+            with_ins = stage_circuit(circuit, local_qubits, 2, 2, time_limit=60.0)
+            without_ins = _stage_count_without_insularity(circuit, local_qubits, 2, 2)
+            rows.append(
+                {
+                    "circuit": family,
+                    "stages_with_insular": with_ins.num_stages,
+                    "stages_without_insular": without_ins,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(format_table(rows, title="Ablation — staging with vs without insular qubits"))
+    with_g = geometric_mean([r["stages_with_insular"] for r in rows])
+    without_g = geometric_mean([r["stages_without_insular"] for r in rows])
+    # Insularity can only help, and helps overall.
+    assert all(r["stages_with_insular"] <= r["stages_without_insular"] for r in rows)
+    assert with_g <= without_g

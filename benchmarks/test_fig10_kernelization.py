@@ -1,0 +1,33 @@
+"""Figure 10 — kernelization effectiveness relative to greedy packing.
+
+The paper reports, per circuit family, the geometric-mean cost of
+KERNELIZE's kernel plans relative to a baseline that greedily packs gates
+into 5-qubit fusion kernels (values below 1.0 mean KERNELIZE is better;
+the paper's geomean is 0.583, with qft at 0.370 and dj/qsvm near 1.0).
+The benchmark regenerates the relative-cost table and checks the headline
+claims: no family gets worse, and the structured circuits (qft, ae,
+su2random, vqc) improve by roughly 2–3×.
+"""
+
+from repro.analysis import figure10_kernelization, format_table
+from repro.analysis.reporting import geometric_mean
+
+
+def test_fig10_kernelization(benchmark, families, qubit_range):
+    rows = benchmark.pedantic(
+        figure10_kernelization,
+        kwargs=dict(families=families, qubit_range=qubit_range, pruning_threshold=32),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 10 — relative kernelization cost vs greedy"))
+
+    by_name = {row["circuit"]: row["relative_cost"] for row in rows}
+    # KERNELIZE never loses to the greedy baseline.
+    assert all(v <= 1.01 for v in by_name.values())
+    # The overall geometric mean shows a clear win (paper: 0.583).
+    assert by_name["geomean"] < 0.9
+    # qft is among the biggest winners (paper: 0.370).
+    if "qft" in by_name:
+        assert by_name["qft"] < 0.6

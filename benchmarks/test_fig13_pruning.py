@@ -1,0 +1,30 @@
+"""Figure 13 — pruning-threshold ablation of the KERNELIZE beam search.
+
+The DP kernelizer bounds its state count with a pruning threshold T
+(Appendix B-f).  The paper sweeps T from 4 to 4000 and shows (a) the
+resulting plan cost decreases (then flattens) as T grows, (b) preprocessing
+time grows with T, and (c) even tiny T beats ORDERED-KERNELIZE
+("Atlas-Naive").  The benchmark regenerates that trade-off curve.
+"""
+
+from repro.analysis import figure13_pruning_threshold, format_table
+
+
+def test_fig13_pruning_threshold(benchmark, paper_scale, families, local_qubits):
+    thresholds = (4, 16, 50, 100, 200, 500) if paper_scale else (4, 16, 64)
+    rows = benchmark.pedantic(
+        figure13_pruning_threshold,
+        kwargs=dict(thresholds=thresholds, families=families, num_qubits=local_qubits),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 13 — pruning threshold T sweep"))
+
+    numeric = [row for row in rows if isinstance(row["threshold"], int)]
+    naive = next(row for row in rows if row["threshold"] == "naive")
+    costs = [row["relative_cost"] for row in numeric]
+    # Cost is non-increasing in T (larger beams cannot hurt).
+    assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+    # Even the smallest threshold beats ORDERED-KERNELIZE on cost.
+    assert costs[0] <= naive["relative_cost"] + 1e-9

@@ -1,0 +1,29 @@
+"""Table II + Figures 25/37 — the hhl case study (many gates, few qubits).
+
+The hhl circuits have orders of magnitude more gates than qubits (Table II),
+which stresses the kernelizers.  The paper shows that KERNELIZE matches
+ORDERED-KERNELIZE's cost on these circuits while running in linear time in
+the number of gates (Figure 37), and that both beat the greedy packer
+(Figure 25).
+"""
+
+from repro.analysis import figure25_hhl_case_study, format_table
+
+
+def test_fig25_hhl_case_study(benchmark, paper_scale):
+    sizes = (4, 7, 9, 10) if paper_scale else (4, 6, 7, 8)
+    rows = benchmark.pedantic(
+        figure25_hhl_case_study,
+        kwargs=dict(hhl_sizes=sizes, pruning_threshold=16),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table(rows, title="Table II + Figure 25 — hhl case study"))
+
+    gates = [row["gates"] for row in rows]
+    assert gates == sorted(gates)
+    for row in rows:
+        # KERNELIZE is no worse than the alternatives on cost.
+        assert row["atlas"] <= row["atlas_naive"] * 1.05
+        assert row["atlas"] <= row["greedy"] * 1.05

@@ -1,0 +1,40 @@
+"""Figures 26–36 — kernelization preprocessing time per circuit family.
+
+The appendix also reports how long each kernelization algorithm takes to
+*run* (not the quality of its output).  The paper's observation is that
+KERNELIZE's preprocessing stays within the same order of magnitude as the
+ILP staging (seconds), and that the greedy packer is the fastest but
+produces the worst plans.  These benchmarks time the three kernelizers on
+each family; pytest-benchmark records the KERNELIZE timing as the primary
+measurement.
+"""
+
+import pytest
+
+from repro.analysis import figure26_36_preprocessing_time, format_table
+
+FIGURE_OF_FAMILY = {
+    "ae": 26, "dj": 27, "ghz": 28, "graphstate": 29, "ising": 30, "qft": 31,
+    "qpeexact": 32, "qsvm": 33, "su2random": 34, "vqc": 35, "wstate": 36,
+}
+
+
+@pytest.mark.parametrize("family", sorted(FIGURE_OF_FAMILY))
+def test_per_circuit_preprocessing_time(benchmark, family, families, qubit_range, paper_scale):
+    if not paper_scale and family not in families:
+        pytest.skip("family excluded from the reduced-scale sweep (set REPRO_PAPER_SCALE=1)")
+    rows = benchmark.pedantic(
+        figure26_36_preprocessing_time,
+        kwargs=dict(family=family, qubit_range=qubit_range, pruning_threshold=32),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table(
+        rows,
+        title=f"Figure {FIGURE_OF_FAMILY[family]} — kernelization preprocessing time, {family}",
+    ))
+    for row in rows:
+        assert row["atlas_s"] > 0 and row["atlas_naive_s"] > 0 and row["greedy_s"] > 0
+        # Greedy packing is the cheapest preprocessing step.
+        assert row["greedy_s"] <= row["atlas_s"]

@@ -1,0 +1,51 @@
+"""Figure 5 — end-to-end weak scaling: Atlas vs HyQuas / cuQuantum / Qiskit.
+
+For every circuit family the paper increases the machine from 1 to 256 GPUs
+while growing the circuit by one qubit per doubling (28 local qubits).  The
+benchmark reproduces that sweep on the cluster performance model and prints,
+per family, the modelled simulation time of each simulator plus Atlas's
+speedup over the best baseline.  The paper's headline claims that should
+hold qualitatively: Atlas ≥ baselines at small GPU counts and increasingly
+faster at large GPU counts (2×–5× at 64–256 GPUs), and Qiskit slower by
+orders of magnitude throughout.
+"""
+
+from repro.analysis import figure5_weak_scaling, format_series
+
+
+def test_fig5_weak_scaling(benchmark, families, gpu_counts, local_qubits):
+    results = benchmark.pedantic(
+        figure5_weak_scaling,
+        kwargs=dict(
+            families=families,
+            gpu_counts=gpu_counts,
+            local_qubits=local_qubits,
+            pruning_threshold=16,
+            ilp_time_limit=60.0,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    for family, rows in results.items():
+        series = {
+            name: [row[name] for row in rows]
+            for name in ("atlas", "hyquas", "cuquantum", "qiskit")
+        }
+        series["atlas_speedup"] = [row["speedup_vs_best_baseline"] for row in rows]
+        print(
+            format_series(
+                "gpus",
+                [row["gpus"] for row in rows],
+                series,
+                title=f"Figure 5 ({family}) — modelled simulation time (s)",
+            )
+        )
+        print()
+
+    # Qualitative checks across all families.
+    for family, rows in results.items():
+        for row in rows:
+            assert row["atlas"] <= row["qiskit"], family
+        # At the largest machine Atlas should beat the strongest baseline.
+        assert rows[-1]["speedup_vs_best_baseline"] >= 1.0, family

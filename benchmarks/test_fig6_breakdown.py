@@ -1,0 +1,36 @@
+"""Figure 6 — simulation time breakdown: communication vs computation.
+
+The paper reports, averaged over the 11 benchmark circuits, the fraction of
+Atlas's simulation time spent communicating as the machine grows from 1 to
+256 GPUs: ~0% on a single GPU, a minority share within one node, and a
+majority (≈60–66%) once multiple nodes are involved.  The benchmark
+regenerates those averages from the cluster performance model.
+"""
+
+from repro.analysis import figure6_breakdown, format_table
+
+
+def test_fig6_breakdown(benchmark, families, gpu_counts, local_qubits):
+    rows = benchmark.pedantic(
+        figure6_breakdown,
+        kwargs=dict(
+            families=families,
+            gpu_counts=gpu_counts,
+            local_qubits=local_qubits,
+            pruning_threshold=16,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table(rows, title="Figure 6 — Atlas time breakdown (averages)"))
+
+    by_gpus = {row["gpus"]: row for row in rows}
+    # Single GPU: no inter-shard communication at all.
+    assert by_gpus[min(by_gpus)]["comm_fraction"] == 0.0
+    # Communication share grows (weakly) as the machine spans more GPUs/nodes.
+    fractions = [row["comm_fraction"] for row in rows]
+    assert fractions[-1] >= fractions[0]
+    # Multi-node configurations are communication-dominated (paper: ~65%).
+    if max(by_gpus) >= 16:
+        assert by_gpus[max(by_gpus)]["comm_fraction"] > 0.3

@@ -1,0 +1,31 @@
+"""Figure 8 — DRAM offloading scales across GPUs for Atlas but not for QDAO.
+
+The paper runs the 32-qubit qft circuit with DRAM offloading on 1, 2 and 4
+GPUs: Atlas's time drops as GPUs are added (shards stream through more
+devices in parallel) while QDAO's stays flat.  The benchmark reproduces the
+same three-point sweep with the performance model.
+"""
+
+from repro.analysis import figure8_offload_scaling, format_table
+
+
+def test_fig8_offload_scaling(benchmark, paper_scale, local_qubits):
+    num_qubits = 32 if paper_scale else local_qubits + 4
+    rows = benchmark.pedantic(
+        figure8_offload_scaling,
+        kwargs=dict(num_qubits=num_qubits, local_qubits=local_qubits,
+                    gpu_counts=(1, 2, 4), pruning_threshold=16),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table(
+        rows,
+        title=f"Figure 8 — offloaded {num_qubits}-qubit qft vs GPU count (modelled seconds)",
+    ))
+
+    atlas = [row["atlas_s"] for row in rows]
+    qdao = [row["qdao_s"] for row in rows]
+    # Atlas gets faster with more GPUs; QDAO stays flat.
+    assert atlas[-1] < atlas[0]
+    assert abs(qdao[-1] - qdao[0]) / qdao[0] < 0.05

@@ -1,0 +1,19 @@
+"""Table I — benchmark circuits and their gate counts.
+
+Regenerates the paper's Table I: the number of gates of every circuit
+family at every evaluated qubit count.  The benchmark times circuit
+construction itself (the generators are part of the substrate we built);
+the printed table is the artefact to compare against the paper.
+"""
+
+from repro.analysis import format_table, table1_circuit_sizes
+
+
+def test_table1_gate_counts(benchmark, families, qubit_range):
+    rows = benchmark(table1_circuit_sizes, families=families, qubit_range=qubit_range)
+    print()
+    print(format_table(rows, title="Table I — circuit sizes (number of gates)"))
+    assert len(rows) == len(families)
+    for row in rows:
+        counts = [row[str(n)] for n in qubit_range]
+        assert counts == sorted(counts)

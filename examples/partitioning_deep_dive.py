@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Deep dive into the two partitioning levels: staging and kernelization.
+
+This example looks *inside* the Atlas pipeline rather than at end-to-end
+times:
+
+* staging — compares the ILP stager with the SnuQS-style greedy heuristic on
+  the same circuit across a range of local-qubit budgets (the paper's
+  Figure 9 ablation), showing that the ILP always needs at most as many
+  stages;
+* kernelization — compares KERNELIZE, ORDERED-KERNELIZE and the greedy
+  5-qubit packer on one stage (the paper's Figure 10 ablation), printing the
+  kernel widths each strategy chooses.
+
+Run with:  python examples/partitioning_deep_dive.py
+"""
+
+from repro.circuits.library import ising, qft
+from repro.core import (
+    KernelizeConfig,
+    greedy_kernelize,
+    kernelize,
+    ordered_kernelize,
+    snuqs_stage_circuit,
+    stage_circuit,
+)
+
+
+def staging_study() -> None:
+    num_qubits = 16
+    circuit = ising(num_qubits)
+    print(f"Staging study on {circuit.name} ({len(circuit)} gates)")
+    print(f"{'L':>3} | {'ILP stages':>10} | {'SnuQS stages':>12}")
+    print("-" * 33)
+    for local in range(8, num_qubits + 1, 2):
+        non_local = num_qubits - local
+        regional = min(2, non_local)
+        global_ = non_local - regional
+        ilp = stage_circuit(circuit, local, regional, global_)
+        greedy = snuqs_stage_circuit(circuit, local, regional, global_)
+        print(f"{local:>3} | {ilp.num_stages:>10} | {greedy.num_stages:>12}")
+        assert ilp.num_stages <= greedy.num_stages
+    print()
+
+
+def kernelization_study() -> None:
+    circuit = qft(16)
+    print(f"Kernelization study on {circuit.name} ({len(circuit)} gates)")
+    strategies = {
+        "KERNELIZE (Atlas)": lambda c: kernelize(c, config=KernelizeConfig(pruning_threshold=64)),
+        "ORDERED-KERNELIZE": ordered_kernelize,
+        "greedy 5-qubit packing": greedy_kernelize,
+    }
+    for name, fn in strategies.items():
+        kernels = fn(circuit)
+        widths = kernels.widths()
+        print(
+            f"  {name:<24} cost {kernels.total_cost:7.2f}  "
+            f"kernels {len(kernels):3d}  widths {sorted(set(widths))}"
+        )
+    print()
+
+
+if __name__ == "__main__":
+    staging_study()
+    kernelization_study()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Weak-scaling study: Atlas vs the baseline simulator models (paper Figure 5).
+
+Reproduces the *shape* of the paper's headline experiment at a reduced scale:
+for each GPU count the circuit grows by one qubit (weak scaling), and the
+modelled simulation time of Atlas, HyQuas, cuQuantum and Qiskit-Aer is
+reported.  Atlas's ILP staging keeps the number of all-to-all exchanges flat
+as the machine grows, which is where its advantage comes from.
+
+Run with:  python examples/weak_scaling_study.py [--local-qubits N]
+"""
+
+import argparse
+
+from repro.analysis import figure5_weak_scaling, format_series
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--local-qubits",
+        type=int,
+        default=20,
+        help="local qubits per GPU shard (28 reproduces the paper's scale; "
+        "20 keeps the ILP solves fast for a demo)",
+    )
+    parser.add_argument(
+        "--families",
+        nargs="+",
+        default=["qft", "ghz", "ising"],
+        help="circuit families to include",
+    )
+    parser.add_argument(
+        "--gpus", nargs="+", type=int, default=[1, 4, 16, 64], help="GPU counts"
+    )
+    args = parser.parse_args()
+
+    results = figure5_weak_scaling(
+        families=args.families,
+        gpu_counts=args.gpus,
+        local_qubits=args.local_qubits,
+        pruning_threshold=16,
+    )
+    for family, rows in results.items():
+        series = {
+            name: [row[name] for row in rows]
+            for name in ("atlas", "hyquas", "cuquantum", "qiskit")
+        }
+        series["speedup"] = [row["speedup_vs_best_baseline"] for row in rows]
+        print()
+        print(
+            format_series(
+                "gpus",
+                [row["gpus"] for row in rows],
+                series,
+                title=f"Weak scaling — {family} (modelled seconds)",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+legacy editable installs (``pip install -e .`` without the wheel package)
+work in offline environments.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Atlas reproduction: hierarchical partitioning for quantum circuit "
+        "simulation (SC 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

@@ -1,0 +1,123 @@
+"""repro — a from-scratch reproduction of *Atlas: Hierarchical Partitioning
+for Quantum Circuit Simulation on GPUs* (SC 2024).
+
+The package is organised as:
+
+* :mod:`repro.circuits` — circuit IR, OpenQASM I/O and the benchmark
+  circuit library (Table I's 11 families plus ``hhl``),
+* :mod:`repro.ilp` — the integer-linear-programming substrate used by the
+  staging algorithm,
+* :mod:`repro.sim` — the dense NumPy state-vector engine,
+* :mod:`repro.cluster` — the multi-node GPU cluster performance model,
+* :mod:`repro.core` — the paper's contribution: ILP circuit staging
+  (Section IV), DP circuit kernelization (Section V), and the hierarchical
+  partitioner that combines them (Algorithm 1),
+* :mod:`repro.runtime` — staged execution, DRAM offloading, and the
+  end-to-end timing model,
+* :mod:`repro.baselines` — HyQuas / cuQuantum / Qiskit-Aer / QDAO simulator
+  models used in the evaluation,
+* :mod:`repro.analysis` — experiment drivers regenerating every table and
+  figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import simulate, MachineConfig
+    from repro.circuits.library import qft
+
+    result = simulate(qft(12), MachineConfig.for_circuit(12, num_gpus=4, local_qubits=10))
+    print(result.timing.total_seconds, result.state.probabilities()[:4])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .circuits import Circuit, Gate, from_qasm, make_gate, to_qasm
+from .cluster import DEFAULT_COST_MODEL, CostModel, MachineConfig
+from .core import (
+    ExecutionPlan,
+    KernelizeConfig,
+    PartitionReport,
+    partition,
+)
+from .runtime import TimingBreakdown, execute_plan, model_simulation_time
+from .sim import StateVector, simulate_reference
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "make_gate",
+    "to_qasm",
+    "from_qasm",
+    "StateVector",
+    "simulate_reference",
+    "MachineConfig",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "ExecutionPlan",
+    "KernelizeConfig",
+    "partition",
+    "PartitionReport",
+    "execute_plan",
+    "model_simulation_time",
+    "TimingBreakdown",
+    "SimulationResult",
+    "simulate",
+    "__version__",
+]
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one end-to-end :func:`simulate` call."""
+
+    state: StateVector | None
+    plan: ExecutionPlan
+    report: PartitionReport
+    timing: TimingBreakdown
+
+
+def simulate(
+    circuit: Circuit,
+    machine: MachineConfig,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    initial_state: StateVector | None = None,
+    stager: str = "ilp",
+    kernelizer: str = "atlas",
+    kernelize_config: KernelizeConfig | None = None,
+    execute: bool = True,
+) -> SimulationResult:
+    """Partition, execute, and time *circuit* on *machine* — the one-call API.
+
+    Parameters
+    ----------
+    circuit:
+        Input circuit (``machine.total_qubits()`` must match its size).
+    machine:
+        Cluster configuration; use :meth:`MachineConfig.for_circuit` for the
+        common cases.
+    cost_model:
+        Kernel cost model used by the kernelizer and the timing model.
+    initial_state:
+        Optional starting state (default |0…0>).
+    stager, kernelizer, kernelize_config:
+        Partitioning strategy knobs (see :func:`repro.core.partition`).
+    execute:
+        When False, skip the functional state-vector execution (useful for
+        circuits too large to materialise) and return ``state=None``.
+    """
+    plan, report = partition(
+        circuit,
+        machine,
+        cost_model=cost_model,
+        stager=stager,
+        kernelizer=kernelizer,
+        kernelize_config=kernelize_config,
+    )
+    timing = model_simulation_time(plan, machine, cost_model)
+    state = None
+    if execute:
+        state, _trace = execute_plan(plan, initial_state=initial_state, machine=machine)
+    return SimulationResult(state=state, plan=plan, report=report, timing=timing)

@@ -1,0 +1,36 @@
+"""Baseline simulator models (HyQuas, cuQuantum, Qiskit Aer, QDAO) plus Atlas itself."""
+
+from .atlas import AtlasSimulator
+from .base import BaselineSimulator
+from .cuquantum import CuQuantumSimulator
+from .hyquas import HyQuasSimulator
+from .qdao import QdaoSimulator
+from .qiskit_aer import QiskitAerSimulator
+
+__all__ = [
+    "BaselineSimulator",
+    "AtlasSimulator",
+    "HyQuasSimulator",
+    "CuQuantumSimulator",
+    "QiskitAerSimulator",
+    "QdaoSimulator",
+    "SIMULATORS",
+    "make_simulator",
+]
+
+#: Registry of the end-to-end simulators compared in Figure 5.
+SIMULATORS = {
+    "atlas": AtlasSimulator,
+    "hyquas": HyQuasSimulator,
+    "cuquantum": CuQuantumSimulator,
+    "qiskit": QiskitAerSimulator,
+}
+
+
+def make_simulator(name: str, **kwargs):
+    """Instantiate a simulator model by name (``atlas``/``hyquas``/``cuquantum``/``qiskit``)."""
+    try:
+        cls = SIMULATORS[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown simulator {name!r}; known: {sorted(SIMULATORS)}") from exc
+    return cls(**kwargs)

@@ -1,0 +1,45 @@
+"""Atlas itself, wrapped in the same interface as the baseline models.
+
+Having Atlas available as a :class:`BaselineSimulator` keeps the benchmark
+drivers uniform: every curve of Figure 5 (Atlas, HyQuas, cuQuantum, Qiskit)
+is produced by the same loop over ``SIMULATORS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuits.circuit import Circuit
+from ..cluster.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..cluster.machine import MachineConfig
+from ..core.kernelize import KernelizeConfig
+from ..core.partitioner import partition
+from ..core.plan import ExecutionPlan
+from .base import BaselineSimulator
+
+__all__ = ["AtlasSimulator"]
+
+
+@dataclass
+class AtlasSimulator(BaselineSimulator):
+    """Atlas: ILP staging + DP kernelization (the paper's system)."""
+
+    name: str = "atlas"
+    kernel_overhead_factor: float = 1.0
+    comm_overhead_factor: float = 1.0
+    cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+    #: Beam width of the kernelizer; benchmarks lower it for very large circuits.
+    pruning_threshold: int = 100
+    ilp_time_limit: float | None = 120.0
+
+    def partition(self, circuit: Circuit, machine: MachineConfig) -> ExecutionPlan:
+        plan, _report = partition(
+            circuit,
+            machine,
+            cost_model=self.cost_model,
+            stager="ilp",
+            kernelizer="atlas",
+            kernelize_config=KernelizeConfig(pruning_threshold=self.pruning_threshold),
+            ilp_time_limit=self.ilp_time_limit,
+        )
+        return plan

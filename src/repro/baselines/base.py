@@ -1,0 +1,65 @@
+"""Common scaffolding for the baseline simulator models.
+
+The paper compares Atlas against HyQuas, cuQuantum (cusvaer), Qiskit Aer
+and QDAO.  Those systems are CUDA-only or closed, so this reproduction
+re-implements each system's *partitioning strategy* (how it groups gates
+and when it reshuffles the distributed state) on top of the same circuit
+IR, cluster performance model and NumPy execution substrate used by Atlas.
+That isolates precisely what the paper's end-to-end figures measure: the
+effect of partitioning quality on communication and kernel efficiency.
+
+Every baseline implements :class:`BaselineSimulator`:
+
+* ``partition(circuit, machine)`` produces an :class:`ExecutionPlan` using
+  the baseline's own staging/fusion heuristics, and
+* ``model_time(circuit, machine)`` prices that plan with the shared timing
+  model, scaled by the baseline's overhead factors (kernel inefficiency and
+  communication inefficiency relative to a hand-tuned CUDA runtime).
+
+Because the plans are real :class:`ExecutionPlan` objects, they can also be
+executed functionally with :func:`repro.runtime.execute_plan`, which tests
+use to confirm that every baseline still computes the correct state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.circuit import Circuit
+from ..cluster.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..cluster.machine import MachineConfig
+from ..core.plan import ExecutionPlan
+from ..runtime.timeline import TimingBreakdown, model_simulation_time
+
+__all__ = ["BaselineSimulator"]
+
+
+@dataclass
+class BaselineSimulator:
+    """Base class: a named partitioning strategy plus overhead factors."""
+
+    name: str = "baseline"
+    #: Multiplier on modelled kernel time (relative kernel inefficiency).
+    kernel_overhead_factor: float = 1.0
+    #: Multiplier on modelled communication time.
+    comm_overhead_factor: float = 1.0
+    cost_model: CostModel = DEFAULT_COST_MODEL
+
+    # -- strategy hooks --------------------------------------------------
+
+    def partition(self, circuit: Circuit, machine: MachineConfig) -> ExecutionPlan:
+        """Produce this simulator's execution plan for *circuit* on *machine*."""
+        raise NotImplementedError
+
+    # -- shared timing ----------------------------------------------------
+
+    def model_time(self, circuit: Circuit, machine: MachineConfig) -> TimingBreakdown:
+        """Model the end-to-end simulation time of this baseline."""
+        plan = self.partition(circuit, machine)
+        return model_simulation_time(
+            plan,
+            machine,
+            cost_model=self.cost_model,
+            kernel_overhead_factor=self.kernel_overhead_factor,
+            comm_overhead_factor=self.comm_overhead_factor,
+        )

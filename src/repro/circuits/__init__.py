@@ -1,0 +1,15 @@
+"""Circuit intermediate representation and benchmark circuit library."""
+
+from .circuit import Circuit, CircuitStats
+from .gates import Gate, gate_matrix, make_gate
+from .qasm import from_qasm, to_qasm
+
+__all__ = [
+    "Circuit",
+    "CircuitStats",
+    "Gate",
+    "gate_matrix",
+    "make_gate",
+    "from_qasm",
+    "to_qasm",
+]

@@ -1,0 +1,68 @@
+"""Benchmark circuit library.
+
+This subpackage re-implements, from their published constructions, the 11
+scalable MQT-Bench / NWQBench circuit families used in the Atlas paper's
+evaluation (Table I) plus the ``hhl`` case-study circuit (Table II) and
+random-circuit generators for testing.
+
+The :data:`CIRCUIT_FAMILIES` registry maps the family name used in the
+paper's figures to a generator ``f(num_qubits) -> Circuit``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..circuit import Circuit
+from .ae import ae
+from .dj import dj
+from .ghz import ghz
+from .graphstate import graphstate
+from .hhl import hhl, hhl_padded
+from .ising import ising
+from .qft import inverse_qft, qft
+from .qpe import qpeexact
+from .qsvm import qsvm
+from .random_circuits import brickwork_circuit, random_circuit
+from .su2random import su2random
+from .vqc import vqc
+from .wstate import wstate
+
+__all__ = [
+    "ae", "dj", "ghz", "graphstate", "ising", "qft", "inverse_qft",
+    "qpeexact", "qsvm", "su2random", "vqc", "wstate", "hhl", "hhl_padded",
+    "random_circuit", "brickwork_circuit",
+    "CIRCUIT_FAMILIES", "get_circuit", "PAPER_FAMILIES",
+]
+
+#: The 11 scalable families evaluated in the paper's Figure 5 / Table I.
+PAPER_FAMILIES: tuple[str, ...] = (
+    "ae", "dj", "ghz", "graphstate", "ising", "qft",
+    "qpeexact", "qsvm", "su2random", "vqc", "wstate",
+)
+
+CIRCUIT_FAMILIES: dict[str, Callable[[int], Circuit]] = {
+    "ae": ae,
+    "dj": dj,
+    "ghz": ghz,
+    "graphstate": graphstate,
+    "ising": ising,
+    "qft": qft,
+    "qpeexact": qpeexact,
+    "qsvm": qsvm,
+    "su2random": su2random,
+    "vqc": vqc,
+    "wstate": wstate,
+    "hhl": hhl,
+}
+
+
+def get_circuit(family: str, num_qubits: int) -> Circuit:
+    """Build the named benchmark circuit at the requested size."""
+    try:
+        generator = CIRCUIT_FAMILIES[family]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown circuit family {family!r}; known: {sorted(CIRCUIT_FAMILIES)}"
+        ) from exc
+    return generator(num_qubits)

@@ -1,0 +1,26 @@
+"""Shared helpers for the circuit library generators.
+
+All generators are deterministic: parameterised circuits (su2random, vqc,
+qsvm, ...) draw their angles from a :class:`numpy.random.Generator` seeded
+from the circuit family name and qubit count, so repeated calls produce
+identical circuits and benchmark results are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["family_rng", "angles"]
+
+
+def family_rng(family: str, num_qubits: int, seed: int = 0) -> np.random.Generator:
+    """Deterministic RNG derived from the circuit family, size and seed."""
+    digest = hashlib.sha256(f"{family}:{num_qubits}:{seed}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def angles(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Draw *count* rotation angles uniformly from [0, 2π)."""
+    return rng.uniform(0.0, 2.0 * np.pi, size=count)

@@ -1,0 +1,56 @@
+"""Amplitude estimation circuit.
+
+Canonical (QPE-based) amplitude estimation on a single-qubit Bernoulli
+state preparation ``A = RY(θ_p)``: ``n-1`` evaluation qubits control powers
+of the Grover operator ``Q = A S_0 A† S_χ`` and an inverse QFT reads out the
+amplitude.  Each controlled ``Q^(2^k)`` is emitted as ``2^k`` controlled-Q
+blocks for small ``k`` and collapsed to an equivalent controlled rotation
+for large ``k`` (``Q`` acting on one qubit is a rotation, so its powers are
+rotations), keeping the gate count of the same order as MQT-Bench's ``ae``
+family (~``n(n+1)/2 + O(n)`` gates).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import Circuit
+from .qft import append_inverse_qft
+
+__all__ = ["ae"]
+
+#: Probability encoded by the state-preparation operator A = RY(theta_p).
+_DEFAULT_PROBABILITY = 0.2
+
+
+def ae(num_qubits: int, probability: float = _DEFAULT_PROBABILITY) -> Circuit:
+    """Build the ``n``-qubit amplitude-estimation circuit."""
+    if num_qubits < 2:
+        raise ValueError("ae requires at least 2 qubits")
+    if not 0.0 < probability < 1.0:
+        raise ValueError("probability must be in (0, 1)")
+    n_eval = num_qubits - 1
+    objective = num_qubits - 1
+    theta_p = 2.0 * math.asin(math.sqrt(probability))
+    # On a single objective qubit the Grover operator Q is a rotation by 2θ_p.
+    grover_angle = 2.0 * theta_p
+
+    circuit = Circuit(num_qubits, name=f"ae_{num_qubits}")
+    circuit.ry(theta_p, objective)
+    for q in range(n_eval):
+        circuit.h(q)
+    for k in range(n_eval):
+        power = 2 ** k
+        if power <= 4:
+            # Explicit repeated controlled-Q applications (controlled RY + phase).
+            for _ in range(power):
+                circuit.cry(grover_angle, k, objective)
+                circuit.cz(k, objective)
+        else:
+            # Collapse the rotation power; keep a pair of gates so the
+            # entangling structure (evaluation qubit ↔ objective) is preserved.
+            circuit.cry(grover_angle * power, k, objective)
+            circuit.cz(k, objective)
+    # Bit-reversed readout convention (see qpe.py).
+    append_inverse_qft(circuit, list(reversed(range(n_eval))))
+    return circuit

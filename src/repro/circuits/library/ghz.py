@@ -1,0 +1,23 @@
+"""GHZ state preparation circuit.
+
+``|GHZ_n> = (|0...0> + |1...1>)/sqrt(2)`` — one Hadamard followed by a CX
+chain, giving exactly ``n`` gates (matches the paper's Table I where the
+``ghz`` family has ``n`` gates for ``n`` qubits).
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit
+
+__all__ = ["ghz"]
+
+
+def ghz(num_qubits: int) -> Circuit:
+    """Build the ``n``-qubit GHZ preparation circuit."""
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be >= 1")
+    circuit = Circuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    return circuit

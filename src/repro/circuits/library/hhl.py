@@ -1,0 +1,92 @@
+"""HHL (Harrow–Hassidim–Lloyd) linear-system solver circuit.
+
+This is the NWQBench-style circuit used in the paper's Appendix C case
+study (Table II, Figures 25/37): its gate count grows *exponentially* with
+the number of qubits because the controlled Hamiltonian-evolution power
+``C-U^(2^k)`` in the phase-estimation step is emitted as ``2^k`` repetitions
+of a Trotterised evolution block rather than being collapsed analytically.
+That property (|gates| ≫ |qubits|) is exactly what stresses the
+kernelization algorithms, so we reproduce it here.
+
+Layout: qubit 0 is the ancilla rotation qubit, qubits ``1..n_clock`` form
+the clock register, and the remaining qubits hold the state register |b>.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import Circuit
+from .qft import append_inverse_qft, append_qft
+
+__all__ = ["hhl"]
+
+
+def _evolution_block(circuit: Circuit, control: int, state_qubits: list[int], t: float) -> None:
+    """One controlled Trotter block of exp(-iHt) for a 1-D XX+Z Hamiltonian."""
+    for q in state_qubits:
+        circuit.crz(2.0 * t, control, q)
+    for a, b in zip(state_qubits, state_qubits[1:]):
+        circuit.cx(a, b)
+        circuit.crz(1.5 * t, control, b)
+        circuit.cx(a, b)
+
+
+def hhl(num_qubits: int, clock_fraction: float = 0.6) -> Circuit:
+    """Build an HHL circuit on ``num_qubits`` qubits.
+
+    The clock register takes roughly ``clock_fraction`` of the non-ancilla
+    qubits.  Gate count grows as ``Θ(2^n_clock)``.
+    """
+    if num_qubits < 4:
+        raise ValueError("hhl requires at least 4 qubits")
+    n_clock = max(2, int(round((num_qubits - 1) * clock_fraction)))
+    n_state = num_qubits - 1 - n_clock
+    if n_state < 1:
+        n_clock = num_qubits - 2
+        n_state = 1
+    ancilla = 0
+    clock = list(range(1, 1 + n_clock))
+    state = list(range(1 + n_clock, num_qubits))
+
+    circuit = Circuit(num_qubits, name=f"hhl_{num_qubits}")
+    # Prepare |b>.
+    for q in state:
+        circuit.h(q)
+    # Phase estimation.
+    for c in clock:
+        circuit.h(c)
+    t0 = 2.0 * math.pi / (2 ** n_clock)
+    for k, c in enumerate(clock):
+        reps = 2 ** k
+        for _ in range(reps):
+            _evolution_block(circuit, c, state, t0)
+    append_inverse_qft(circuit, clock)
+    # Controlled ancilla rotations (eigenvalue inversion).
+    for k, c in enumerate(clock):
+        angle = 2.0 * math.asin(min(1.0, 1.0 / (2 ** (n_clock - k))))
+        circuit.cry(angle, c, ancilla)
+    # Uncompute phase estimation.
+    append_qft(circuit, clock)
+    for k, c in enumerate(reversed(clock)):
+        reps = 2 ** (n_clock - 1 - k)
+        for _ in range(reps):
+            _evolution_block(circuit, c, state, -t0)
+    for c in clock:
+        circuit.h(c)
+    return circuit
+
+
+def hhl_padded(num_qubits: int, total_qubits: int) -> Circuit:
+    """HHL circuit padded with idle qubits up to *total_qubits*.
+
+    The paper pads the hhl circuits to 28 qubits so the kernelizer targets
+    GPU execution rather than collapsing the whole circuit into one matrix.
+    """
+    base = hhl(num_qubits)
+    if total_qubits < base.num_qubits:
+        raise ValueError("total_qubits must be >= the hhl circuit size")
+    padded = Circuit(total_qubits, name=f"hhl_{num_qubits}_pad{total_qubits}")
+    for gate in base:
+        padded.append(gate)
+    return padded

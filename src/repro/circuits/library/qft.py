@@ -1,0 +1,72 @@
+"""Quantum Fourier transform circuit.
+
+The standard QFT: for each qubit a Hadamard followed by controlled-phase
+rotations from every lower qubit.  By default no final swap network is
+emitted (bit-reversed output order), which gives exactly ``n(n+1)/2`` gates
+and matches the paper's Table I (406 gates at 28 qubits).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import Circuit
+
+__all__ = ["qft", "inverse_qft"]
+
+
+def qft(num_qubits: int, with_swaps: bool = False) -> Circuit:
+    """Build the ``n``-qubit QFT circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits.
+    with_swaps:
+        Emit the final swap network that restores natural qubit order.
+    """
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be >= 1")
+    circuit = Circuit(num_qubits, name=f"qft_{num_qubits}")
+    _append_qft(circuit, list(range(num_qubits)), inverse=False)
+    if with_swaps:
+        for q in range(num_qubits // 2):
+            circuit.swap(q, num_qubits - 1 - q)
+    return circuit
+
+
+def inverse_qft(num_qubits: int, with_swaps: bool = False) -> Circuit:
+    """Build the inverse QFT circuit."""
+    circuit = Circuit(num_qubits, name=f"iqft_{num_qubits}")
+    if with_swaps:
+        for q in range(num_qubits // 2):
+            circuit.swap(q, num_qubits - 1 - q)
+    _append_qft(circuit, list(range(num_qubits)), inverse=True)
+    return circuit
+
+
+def _append_qft(circuit: Circuit, qubits: list[int], inverse: bool) -> None:
+    """Append a (possibly inverse) QFT on *qubits* to *circuit* in place."""
+    n = len(qubits)
+    order = range(n - 1, -1, -1) if not inverse else range(n)
+    for j in order:
+        if inverse:
+            for k in range(j):
+                angle = -math.pi / (2 ** (j - k))
+                circuit.cp(angle, qubits[j], qubits[k])
+            circuit.h(qubits[j])
+        else:
+            circuit.h(qubits[j])
+            for k in range(j - 1, -1, -1):
+                angle = math.pi / (2 ** (j - k))
+                circuit.cp(angle, qubits[j], qubits[k])
+
+
+def append_qft(circuit: Circuit, qubits: list[int]) -> None:
+    """Append a QFT acting on the listed *qubits* of an existing circuit."""
+    _append_qft(circuit, qubits, inverse=False)
+
+
+def append_inverse_qft(circuit: Circuit, qubits: list[int]) -> None:
+    """Append an inverse QFT acting on the listed *qubits*."""
+    _append_qft(circuit, qubits, inverse=True)

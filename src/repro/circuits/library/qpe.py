@@ -1,0 +1,43 @@
+"""Exact quantum phase estimation (``qpeexact``) circuit.
+
+One eigenstate qubit (the last one) holds an eigenvector of a phase gate
+``P(2π·φ)`` whose phase ``φ`` is exactly representable with ``n-1`` bits, so
+the estimation result is exact.  The circuit is the textbook QPE: Hadamards
+on the counting register, controlled powers of the unitary, then an inverse
+QFT on the counting register.  Gate count is ``(n-1)(n+4)/2 + 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import Circuit
+from .qft import append_inverse_qft
+
+__all__ = ["qpeexact"]
+
+
+def qpeexact(num_qubits: int) -> Circuit:
+    """Build the exact-QPE circuit on ``n`` qubits (``n-1`` counting qubits)."""
+    if num_qubits < 2:
+        raise ValueError("qpeexact requires at least 2 qubits")
+    n_count = num_qubits - 1
+    target = num_qubits - 1
+    # Phase exactly representable in n_count bits (avoid 0 so the result is
+    # non-trivial): φ = (2^(n_count-1) + 1) / 2^n_count.
+    phase_int = (1 << (n_count - 1)) + 1 if n_count > 1 else 1
+    phi = phase_int / (1 << n_count)
+
+    circuit = Circuit(num_qubits, name=f"qpeexact_{num_qubits}")
+    circuit.x(target)  # prepare the |1> eigenstate of P(θ)
+    for q in range(n_count):
+        circuit.h(q)
+    # Controlled-U^(2^q): U = P(2π φ), so U^(2^q) = P(2π φ 2^q).
+    for q in range(n_count):
+        angle = 2.0 * math.pi * phi * (2 ** q)
+        circuit.cp(angle, q, target)
+    # The swap-less QFT used here is bit-reversed on its output, so the
+    # inverse is applied on the reversed counting register; the estimate is
+    # then read out exactly (in bit-reversed order).
+    append_inverse_qft(circuit, list(reversed(range(n_count))))
+    return circuit

@@ -1,0 +1,85 @@
+"""Random circuit generators used by tests and ablation benchmarks.
+
+Two flavours are provided:
+
+* :func:`random_circuit` — a generic random circuit drawing gates uniformly
+  from a configurable vocabulary (useful for property-based testing of the
+  partitioning algorithms and the simulator).
+* :func:`brickwork_circuit` — alternating layers of single-qubit rotations
+  and nearest-neighbour two-qubit gates, the "quantum-supremacy-style"
+  structure often used to stress state-vector simulators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit import Circuit
+from ._util import family_rng
+
+__all__ = ["random_circuit", "brickwork_circuit"]
+
+_ONE_QUBIT = ("h", "x", "y", "z", "s", "t", "rx", "ry", "rz", "p", "sx")
+_TWO_QUBIT = ("cx", "cz", "cp", "swap", "rzz", "crz")
+_PARAMETRIC = {"rx": 1, "ry": 1, "rz": 1, "p": 1, "cp": 1, "rzz": 1, "crz": 1, "u3": 3}
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: int = 0,
+    two_qubit_fraction: float = 0.4,
+    gate_set: tuple[str, ...] | None = None,
+) -> Circuit:
+    """Build a random circuit with *num_gates* gates.
+
+    Parameters
+    ----------
+    num_qubits, num_gates:
+        Circuit dimensions.
+    seed:
+        RNG seed (deterministic per ``(num_qubits, num_gates, seed)``).
+    two_qubit_fraction:
+        Probability of emitting a two-qubit gate at each step.
+    gate_set:
+        Optional explicit gate vocabulary; defaults to a mixed set.
+    """
+    if num_qubits < 1:
+        raise ValueError("num_qubits must be >= 1")
+    rng = family_rng("random", num_qubits, seed)
+    rng = np.random.default_rng(rng.integers(2**63) + num_gates)
+    circuit = Circuit(num_qubits, name=f"random_{num_qubits}_{num_gates}_{seed}")
+    for _ in range(num_gates):
+        use_two = num_qubits >= 2 and rng.random() < two_qubit_fraction
+        if gate_set is not None:
+            name = str(rng.choice(gate_set))
+            use_two = name in _TWO_QUBIT
+        else:
+            pool = _TWO_QUBIT if use_two else _ONE_QUBIT
+            name = str(rng.choice(pool))
+        n_target = 2 if name in _TWO_QUBIT else 1
+        qubits = rng.choice(num_qubits, size=n_target, replace=False)
+        n_params = _PARAMETRIC.get(name, 0)
+        params = rng.uniform(0, 2 * np.pi, size=n_params)
+        circuit.add(name, [int(q) for q in qubits], [float(p) for p in params])
+    return circuit
+
+
+def brickwork_circuit(num_qubits: int, depth: int, seed: int = 0) -> Circuit:
+    """Build a brickwork (supremacy-style) circuit of the given *depth*."""
+    if num_qubits < 2:
+        raise ValueError("brickwork requires at least 2 qubits")
+    rng = family_rng("brickwork", num_qubits, seed)
+    circuit = Circuit(num_qubits, name=f"brickwork_{num_qubits}_{depth}")
+    for layer in range(depth):
+        for q in range(num_qubits):
+            circuit.u3(
+                float(rng.uniform(0, np.pi)),
+                float(rng.uniform(0, 2 * np.pi)),
+                float(rng.uniform(0, 2 * np.pi)),
+                q,
+            )
+        offset = layer % 2
+        for q in range(offset, num_qubits - 1, 2):
+            circuit.cz(q, q + 1)
+    return circuit

@@ -1,0 +1,49 @@
+"""Variational quantum classifier circuit (``vqc``).
+
+A data-encoding ZZ feature map followed by a RealAmplitudes-style
+variational ansatz with full entanglement, mirroring MQT-Bench's ``vqc``
+family.  The gate count grows as ``Θ(n²)`` (1746 gates at 28 qubits with
+the defaults; the paper's Table I lists 1873 for the MQT transpilation).
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit
+from ._util import angles, family_rng
+
+__all__ = ["vqc"]
+
+
+def vqc(num_qubits: int, feature_reps: int = 1, ansatz_reps: int = 3, seed: int = 0) -> Circuit:
+    """Build the VQC circuit: ZZ feature map + RealAmplitudes ansatz."""
+    if num_qubits < 2:
+        raise ValueError("vqc requires at least 2 qubits")
+    rng = family_rng("vqc", num_qubits, seed)
+    data = angles(rng, num_qubits)
+    weights = angles(rng, num_qubits * (ansatz_reps + 1))
+    it = iter(weights)
+
+    circuit = Circuit(num_qubits, name=f"vqc_{num_qubits}")
+
+    # Feature map: full-entanglement second-order Pauli-Z evolution.
+    for _ in range(feature_reps):
+        for q in range(num_qubits):
+            circuit.h(q)
+        for q in range(num_qubits):
+            circuit.p(2.0 * float(data[q]), q)
+        for a in range(num_qubits):
+            for b in range(a + 1, num_qubits):
+                circuit.cx(a, b)
+                circuit.p(2.0 * float(data[a]) * float(data[b]), b)
+                circuit.cx(a, b)
+
+    # Variational ansatz: RealAmplitudes with full entanglement.
+    for q in range(num_qubits):
+        circuit.ry(float(next(it)), q)
+    for _ in range(ansatz_reps):
+        for a in range(num_qubits):
+            for b in range(a + 1, num_qubits):
+                circuit.cx(a, b)
+        for q in range(num_qubits):
+            circuit.ry(float(next(it)), q)
+    return circuit

@@ -1,0 +1,34 @@
+"""W-state preparation circuit.
+
+Uses the standard cascade of controlled ``F`` blocks (a controlled-RY
+sandwich) followed by CX gates, as in MQT-Bench.  Gate count is
+``4(n-1) + 1`` for ``n`` qubits, matching the paper's Table I (109 gates at
+28 qubits).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuit import Circuit
+
+__all__ = ["wstate"]
+
+
+def wstate(num_qubits: int) -> Circuit:
+    """Build the ``n``-qubit W-state preparation circuit."""
+    if num_qubits < 2:
+        raise ValueError("wstate requires at least 2 qubits")
+    n = num_qubits
+    circuit = Circuit(n, name=f"wstate_{n}")
+    circuit.x(n - 1)
+    # Cascade of F blocks from qubit n-1 down to 1, distributing amplitude.
+    for i in range(n - 1, 0, -1):
+        theta = math.acos(math.sqrt(1.0 / (i + 1)))
+        # F block: controlled rotation implemented as RY(-θ) · CZ · RY(θ).
+        circuit.ry(-theta, i - 1)
+        circuit.cz(i, i - 1)
+        circuit.ry(theta, i - 1)
+    for i in range(n - 1, 0, -1):
+        circuit.cx(i - 1, i)
+    return circuit

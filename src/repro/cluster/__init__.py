@@ -1,0 +1,18 @@
+"""Distributed GPU cluster performance model (machine, communication, kernel cost)."""
+
+from .comm import CommModel, TransitionTraffic, transition_time, transition_traffic
+from .costmodel import DEFAULT_COST_MODEL, CostModel, KernelCost
+from .machine import AMPLITUDE_BYTES, PERLMUTTER_LIKE, MachineConfig
+
+__all__ = [
+    "MachineConfig",
+    "PERLMUTTER_LIKE",
+    "AMPLITUDE_BYTES",
+    "CostModel",
+    "KernelCost",
+    "DEFAULT_COST_MODEL",
+    "CommModel",
+    "TransitionTraffic",
+    "transition_traffic",
+    "transition_time",
+]

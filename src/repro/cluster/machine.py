@@ -1,0 +1,191 @@
+"""Architectural model of the multi-node GPU cluster.
+
+The paper assumes a machine with ``2^G`` nodes, each hosting ``2^R`` GPUs
+(or DRAM capacity of ``2^(L+R)`` amplitudes), where each GPU holds ``2^L``
+amplitudes locally (Section II, "Architectural Model").  A
+:class:`MachineConfig` captures exactly those parameters plus the hardware
+constants (bandwidths, kernel launch overhead, per-gate throughput) needed
+by the performance model in :mod:`repro.cluster.comm` and
+:mod:`repro.cluster.costmodel`.
+
+The default constants are calibrated to the same order of magnitude as the
+paper's Perlmutter testbed (A100-40GB GPUs, NVLink intra-node, Slingshot
+200 Gb/s inter-node) so that the modelled simulation times land in the same
+few-second range that Figure 5 reports.  Absolute agreement is not the
+goal — the reproduction targets relative behaviour (speedups, scaling
+shape, crossovers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MachineConfig", "PERLMUTTER_LIKE"]
+
+#: Bytes per amplitude (complex128).
+AMPLITUDE_BYTES = 16
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Distributed execution model parameters.
+
+    Attributes
+    ----------
+    local_qubits:
+        ``L`` — each GPU shard holds ``2^L`` amplitudes.
+    regional_qubits:
+        ``R`` — each node holds ``2^(L+R)`` amplitudes (in GPU memory when
+        ``2^R`` equals the GPUs per node, or in DRAM when offloading).
+    global_qubits:
+        ``G`` — there are ``2^G`` nodes.
+    gpus_per_node:
+        Physical GPUs in one node (4 on Perlmutter).
+    gpu_memory_bytes:
+        Device memory per GPU, used to decide when DRAM offloading is
+        required.
+    dram_bytes_per_node:
+        Host DRAM per node available for offloaded shards.
+    intra_node_bandwidth:
+        Per-GPU NVLink-class bandwidth in bytes/second for intra-node
+        all-to-all traffic.
+    inter_node_bandwidth:
+        Per-node network bandwidth in bytes/second for inter-node
+        all-to-all traffic.
+    pcie_bandwidth:
+        Host-to-device bandwidth used by the DRAM-offload executor.
+    kernel_launch_overhead:
+        Seconds of fixed overhead per launched GPU kernel.
+    comm_latency:
+        Fixed latency per all-to-all communication phase (seconds).
+    gpu_flops:
+        Effective sustained complex-FLOP/s of one GPU for fused-matrix
+        kernels.
+    gpu_memory_bandwidth:
+        Device memory bandwidth in bytes/second (bounds shared-memory
+        kernels, which are memory-bound).
+    inter_node_cost_factor:
+        The ``c`` factor of Equation (2); the paper uses 3.
+    """
+
+    local_qubits: int = 28
+    regional_qubits: int = 2
+    global_qubits: int = 0
+    gpus_per_node: int = 4
+    gpu_memory_bytes: int = 40 * 2**30
+    dram_bytes_per_node: int = 256 * 2**30
+    intra_node_bandwidth: float = 200e9
+    inter_node_bandwidth: float = 25e9
+    pcie_bandwidth: float = 25e9
+    kernel_launch_overhead: float = 8e-6
+    comm_latency: float = 30e-6
+    gpu_flops: float = 8e12
+    gpu_memory_bandwidth: float = 1.3e12
+    inter_node_cost_factor: float = 3.0
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """``2^G`` nodes."""
+        return 1 << self.global_qubits
+
+    @property
+    def num_gpus(self) -> int:
+        """Total number of GPU shards executing in parallel: ``2^(R+G)``."""
+        return 1 << (self.regional_qubits + self.global_qubits)
+
+    @property
+    def shard_amplitudes(self) -> int:
+        """Amplitudes per shard (``2^L``)."""
+        return 1 << self.local_qubits
+
+    @property
+    def shard_bytes(self) -> int:
+        return self.shard_amplitudes * AMPLITUDE_BYTES
+
+    @property
+    def non_local_qubits(self) -> int:
+        return self.regional_qubits + self.global_qubits
+
+    def total_qubits(self) -> int:
+        """Largest circuit (in qubits) whose state fits this machine."""
+        return self.local_qubits + self.regional_qubits + self.global_qubits
+
+    def state_bytes(self, num_qubits: int) -> int:
+        return (1 << num_qubits) * AMPLITUDE_BYTES
+
+    def fits_in_gpus(self, num_qubits: int) -> bool:
+        """True when the full state fits in aggregate GPU device memory."""
+        gpus_in_machine = self.num_nodes * self.gpus_per_node
+        return self.state_bytes(num_qubits) <= gpus_in_machine * self.gpu_memory_bytes
+
+    def requires_offload(self, num_qubits: int) -> bool:
+        """True when simulating *num_qubits* needs DRAM offloading."""
+        return not self.fits_in_gpus(num_qubits)
+
+    def validate(self, num_qubits: int) -> None:
+        """Raise if the qubit partition does not cover the circuit."""
+        if self.total_qubits() != num_qubits:
+            raise ValueError(
+                f"machine L+R+G={self.total_qubits()} does not match circuit "
+                f"with {num_qubits} qubits"
+            )
+        if self.state_bytes(num_qubits) > self.num_nodes * self.dram_bytes_per_node:
+            raise ValueError(
+                f"state of {num_qubits} qubits does not fit the cluster DRAM"
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_circuit(
+        cls,
+        num_qubits: int,
+        num_gpus: int = 1,
+        gpus_per_node: int = 4,
+        local_qubits: int | None = None,
+        **overrides,
+    ) -> "MachineConfig":
+        """Build a machine for *num_qubits* spread over *num_gpus* GPUs.
+
+        Mirrors the paper's weak-scaling setup: the number of non-local
+        qubits is ``log2(num_gpus)``; up to ``log2(gpus_per_node)`` of them
+        are regional, the rest global.  If the circuit has more qubits than
+        ``L + log2(num_gpus)`` the extra qubits become regional (DRAM
+        offloading territory).
+        """
+        if num_gpus < 1 or (num_gpus & (num_gpus - 1)) != 0:
+            raise ValueError("num_gpus must be a positive power of two")
+        non_local = num_gpus.bit_length() - 1
+        if local_qubits is None:
+            local_qubits = num_qubits - non_local
+        # A machine with fewer GPUs than a full node only exposes that many.
+        gpus_per_node = min(gpus_per_node, num_gpus)
+        max_regional = max(0, gpus_per_node.bit_length() - 1)
+        regional = min(non_local, max_regional)
+        global_q = non_local - regional
+        # Any remaining qubits (beyond GPU shard capacity) become regional:
+        # their shards live in node DRAM and are swapped through the GPUs.
+        extra = num_qubits - (local_qubits + regional + global_q)
+        if extra < 0:
+            raise ValueError(
+                f"local_qubits={local_qubits} too large for {num_qubits} qubits "
+                f"on {num_gpus} GPUs"
+            )
+        regional += extra
+        return cls(
+            local_qubits=local_qubits,
+            regional_qubits=regional,
+            global_qubits=global_q,
+            gpus_per_node=gpus_per_node,
+            **overrides,
+        )
+
+
+#: The default Perlmutter-like configuration used throughout the benchmarks.
+PERLMUTTER_LIKE = MachineConfig()

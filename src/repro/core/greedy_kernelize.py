@@ -1,0 +1,67 @@
+"""Greedy kernel-packing baseline (Section VII-E).
+
+The baseline the paper compares KERNELIZE against: *"greedily packs gates
+into fusion kernels of up to 5 qubits, the most cost-efficient kernel size
+in the cost function"*.  The packer walks the gate sequence once and adds
+each gate to the current kernel if the kernel's qubit set stays within the
+target width; otherwise it closes the kernel and starts a new one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Gate
+from ..cluster.costmodel import DEFAULT_COST_MODEL, CostModel
+from .kernel import Kernel, KernelSequence, KernelType
+
+__all__ = ["greedy_kernelize"]
+
+
+def greedy_kernelize(
+    stage: Circuit | Sequence[Gate],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    max_width: int | None = None,
+) -> KernelSequence:
+    """Greedily pack gates into fusion kernels of at most *max_width* qubits.
+
+    ``max_width`` defaults to the cost model's most cost-efficient fusion
+    width (5 qubits under the default calibration), matching the paper's
+    baseline description.
+    """
+    gates: list[Gate] = list(stage.gates) if isinstance(stage, Circuit) else list(stage)
+    if max_width is None:
+        max_width = cost_model.best_fusion_width()
+
+    kernels: list[Kernel] = []
+    current: list[Gate] = []
+    current_indices: list[int] = []
+    current_qubits: set[int] = set()
+
+    def flush() -> None:
+        if not current:
+            return
+        cost = cost_model.fusion_cost(len(current_qubits))
+        kernels.append(
+            Kernel(
+                gates=tuple(current),
+                qubits=tuple(sorted(current_qubits)),
+                kernel_type=KernelType.FUSION,
+                cost=cost,
+                gate_indices=tuple(current_indices),
+            )
+        )
+        current.clear()
+        current_indices.clear()
+        current_qubits.clear()
+
+    for idx, gate in enumerate(gates):
+        gate_qubits = set(gate.qubits)
+        if current and len(current_qubits | gate_qubits) > max_width:
+            flush()
+        current.append(gate)
+        current_indices.append(idx)
+        current_qubits |= gate_qubits
+    flush()
+    return KernelSequence(kernels=kernels)

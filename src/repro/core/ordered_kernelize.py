@@ -1,0 +1,88 @@
+"""ORDERED-KERNELIZE — the contiguous-segment DP (Appendix A, Algorithm 5).
+
+This simpler kernelizer only considers kernels that are contiguous segments
+of the input gate sequence.  ``DP[i]`` stores the minimum cost of
+kernelizing the first ``i`` gates; the transition tries every kernel ending
+at position ``i``.  Its cost is never lower than KERNELIZE's (Theorem 6)
+— the paper labels it "Atlas-Naive" in Figures 13–25 — but it is a useful
+optimality reference for small circuits and a second implementation to
+cross-check against.
+
+The inner loop stops extending a candidate segment once its qubit width
+exceeds every strategy's limit, which keeps the practical complexity well
+below the worst-case ``O(|C|²)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Gate
+from ..cluster.costmodel import DEFAULT_COST_MODEL, CostModel
+from .kernel import Kernel, KernelSequence
+
+__all__ = ["ordered_kernelize"]
+
+
+def ordered_kernelize(
+    stage: Circuit | Sequence[Gate],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> KernelSequence:
+    """Optimal kernelization over contiguous gate segments (Algorithm 5)."""
+    gates: list[Gate] = list(stage.gates) if isinstance(stage, Circuit) else list(stage)
+    if not gates:
+        return KernelSequence(kernels=[])
+
+    max_width = max(cost_model.max_fusion_qubits, cost_model.max_shm_qubits)
+    n = len(gates)
+    # Precompute per-gate shared-memory costs so the O(n * window) inner loop
+    # stays matrix-free.
+    gate_shm_cost = [cost_model.gate_cost(g) for g in gates]
+    fusion_cost = [
+        cost_model.fusion_cost(w) for w in range(max_width + 2)
+    ]
+
+    # dp[i] = (cost, split point j) meaning the last kernel is gates[j:i].
+    dp_cost = [float("inf")] * (n + 1)
+    dp_prev = [0] * (n + 1)
+    dp_cost[0] = 0.0
+
+    for i in range(1, n + 1):
+        qubits: set[int] = set()
+        shm_sum = 0.0
+        num_gates_in_segment = 0
+        # Grow the candidate kernel backwards from position i-1.
+        for j in range(i - 1, -1, -1):
+            qubits.update(gates[j].qubits)
+            shm_sum += gate_shm_cost[j]
+            num_gates_in_segment += 1
+            width = len(qubits)
+            if width > max_width and num_gates_in_segment > 1:
+                break
+            fus = fusion_cost[width] if width <= cost_model.max_fusion_qubits else float("inf")
+            shm = (
+                cost_model.shm_load_cost + shm_sum
+                if width <= cost_model.max_shm_qubits
+                else float("inf")
+            )
+            cost = min(fus, shm)
+            total = dp_cost[j] + cost
+            if total < dp_cost[i]:
+                dp_cost[i] = total
+                dp_prev[i] = j
+
+    # Reconstruct the segment boundaries.
+    boundaries: list[tuple[int, int]] = []
+    i = n
+    while i > 0:
+        j = dp_prev[i]
+        boundaries.append((j, i))
+        i = j
+    boundaries.reverse()
+
+    kernels = [
+        Kernel.from_gates(gates[a:b], cost_model, gate_indices=range(a, b))
+        for a, b in boundaries
+    ]
+    return KernelSequence(kernels=kernels)

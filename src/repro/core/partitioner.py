@@ -1,0 +1,144 @@
+"""PARTITION — hierarchical partitioning (Algorithm 1 of the paper).
+
+``partition`` glues the two levels of the hierarchy together: it stages the
+circuit (ILP, Section IV) and then kernelizes every stage's subcircuit
+(DP, Section V), returning an :class:`~repro.core.plan.ExecutionPlan` that
+the executors in :mod:`repro.runtime` can run and the performance model can
+time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..circuits.circuit import Circuit
+from ..cluster.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..cluster.machine import MachineConfig
+from .greedy_kernelize import greedy_kernelize
+from .kernelize import KernelizeConfig, kernelize
+from .ordered_kernelize import ordered_kernelize
+from .plan import ExecutionPlan
+from .stage import stage_circuit
+from .stage_heuristics import snuqs_stage_circuit
+
+__all__ = ["partition", "PartitionReport", "KERNELIZERS", "STAGERS"]
+
+#: Available kernelization strategies, keyed by the names used in the
+#: paper's figures ("atlas" = KERNELIZE, "atlas-naive" = ORDERED-KERNELIZE,
+#: "greedy" = the 5-qubit packing baseline).
+KERNELIZERS = {
+    "atlas": kernelize,
+    "atlas-naive": ordered_kernelize,
+    "greedy": greedy_kernelize,
+}
+
+#: Available staging strategies ("ilp" = Atlas, "snuqs" = the greedy baseline).
+STAGERS = {
+    "ilp": stage_circuit,
+    "snuqs": snuqs_stage_circuit,
+}
+
+
+@dataclass
+class PartitionReport:
+    """Timing and size metadata of one partitioning run (paper Section VII-A-b)."""
+
+    staging_seconds: float
+    kernelization_seconds: float
+    num_stages: int
+    num_kernels: int
+    communication_cost: float
+    total_kernel_cost: float
+
+    @property
+    def preprocessing_seconds(self) -> float:
+        return self.staging_seconds + self.kernelization_seconds
+
+
+def partition(
+    circuit: Circuit,
+    machine: MachineConfig,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    stager: str = "ilp",
+    kernelizer: str = "atlas",
+    kernelize_config: KernelizeConfig | None = None,
+    ilp_backend: str = "scipy",
+    ilp_time_limit: float | None = 120.0,
+) -> tuple[ExecutionPlan, PartitionReport]:
+    """Hierarchically partition *circuit* for execution on *machine*.
+
+    Parameters
+    ----------
+    circuit:
+        The input circuit.
+    machine:
+        Architecture parameters (``L``, ``R``, ``G``); must satisfy
+        ``L + R + G == circuit.num_qubits``.
+    cost_model:
+        Kernel cost model used by the kernelizer.
+    stager:
+        ``"ilp"`` (Atlas) or ``"snuqs"`` (greedy baseline).
+    kernelizer:
+        ``"atlas"`` (KERNELIZE), ``"atlas-naive"`` (ORDERED-KERNELIZE) or
+        ``"greedy"`` (5-qubit packing baseline).
+    kernelize_config:
+        Optional tuning knobs for the DP kernelizer.
+    ilp_backend, ilp_time_limit:
+        Passed through to the staging ILP solver.
+
+    Returns
+    -------
+    (plan, report):
+        The execution plan plus preprocessing statistics.
+    """
+    machine.validate(circuit.num_qubits)
+    if stager not in STAGERS:
+        raise ValueError(f"unknown stager {stager!r}; known: {sorted(STAGERS)}")
+    if kernelizer not in KERNELIZERS:
+        raise ValueError(f"unknown kernelizer {kernelizer!r}; known: {sorted(KERNELIZERS)}")
+
+    t0 = time.perf_counter()
+    if stager == "ilp":
+        staging = stage_circuit(
+            circuit,
+            machine.local_qubits,
+            machine.regional_qubits,
+            machine.global_qubits,
+            inter_node_cost_factor=machine.inter_node_cost_factor,
+            backend=ilp_backend,
+            time_limit=ilp_time_limit,
+        )
+    else:
+        staging = snuqs_stage_circuit(
+            circuit,
+            machine.local_qubits,
+            machine.regional_qubits,
+            machine.global_qubits,
+            inter_node_cost_factor=machine.inter_node_cost_factor,
+        )
+    staging_seconds = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    kernelizer_fn = KERNELIZERS[kernelizer]
+    for stage in staging.stages:
+        if kernelizer == "atlas" and kernelize_config is not None:
+            stage.kernels = kernelizer_fn(stage.gates, cost_model, kernelize_config)
+        else:
+            stage.kernels = kernelizer_fn(stage.gates, cost_model)
+    kernelization_seconds = time.perf_counter() - t1
+
+    plan = ExecutionPlan(
+        num_qubits=circuit.num_qubits,
+        stages=staging.stages,
+        circuit_name=circuit.name,
+    )
+    report = PartitionReport(
+        staging_seconds=staging_seconds,
+        kernelization_seconds=kernelization_seconds,
+        num_stages=plan.num_stages,
+        num_kernels=plan.num_kernels,
+        communication_cost=staging.communication_cost,
+        total_kernel_cost=plan.total_kernel_cost,
+    )
+    return plan, report

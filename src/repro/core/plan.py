@@ -1,0 +1,176 @@
+"""Execution plan data types: qubit partitions, stages, and full plans.
+
+A plan is the output of :func:`repro.core.partitioner.partition` —
+Algorithm 1's ``stagedKernels`` — and the input to the executors in
+:mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..circuits.circuit import Circuit
+from ..circuits.gates import Gate
+from .kernel import Kernel, KernelSequence
+
+__all__ = ["QubitPartition", "Stage", "ExecutionPlan"]
+
+
+@dataclass(frozen=True)
+class QubitPartition:
+    """Partition of the *logical* qubits into local / regional / global sets.
+
+    The physical mapping convention follows Definition 1 of the paper: the
+    first ``L`` physical qubits are local, the next ``R`` regional, and the
+    last ``G`` global.  Logical qubits are assigned to physical positions in
+    ascending order within each class, which fixes a concrete
+    logical→physical permutation used by the executor.
+    """
+
+    local: tuple[int, ...]
+    regional: tuple[int, ...]
+    global_: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        all_qubits = list(self.local) + list(self.regional) + list(self.global_)
+        if len(set(all_qubits)) != len(all_qubits):
+            raise ValueError("qubit appears in more than one partition class")
+
+    @classmethod
+    def from_sets(
+        cls, local: Iterable[int], regional: Iterable[int], global_: Iterable[int]
+    ) -> "QubitPartition":
+        return cls(tuple(sorted(local)), tuple(sorted(regional)), tuple(sorted(global_)))
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.local) + len(self.regional) + len(self.global_)
+
+    @property
+    def num_local(self) -> int:
+        return len(self.local)
+
+    @property
+    def num_regional(self) -> int:
+        return len(self.regional)
+
+    @property
+    def num_global(self) -> int:
+        return len(self.global_)
+
+    def logical_to_physical(self) -> dict[int, int]:
+        """Map each logical qubit to its physical position.
+
+        Physical positions ``0..L-1`` are local, ``L..L+R-1`` regional and
+        the rest global (Definition 1).
+        """
+        mapping: dict[int, int] = {}
+        position = 0
+        for group in (self.local, self.regional, self.global_):
+            for logical in group:
+                mapping[logical] = position
+                position += 1
+        return mapping
+
+    def physical_to_logical(self) -> dict[int, int]:
+        return {p: q for q, p in self.logical_to_physical().items()}
+
+    def classify(self, logical_qubit: int) -> str:
+        if logical_qubit in self.local:
+            return "local"
+        if logical_qubit in self.regional:
+            return "regional"
+        if logical_qubit in self.global_:
+            return "global"
+        raise ValueError(f"qubit {logical_qubit} not in partition")
+
+
+@dataclass
+class Stage:
+    """One stage: a contiguous subcircuit plus its qubit partition and kernels."""
+
+    gates: list[Gate]
+    partition: QubitPartition
+    kernels: KernelSequence | None = None
+    gate_indices: list[int] = field(default_factory=list)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def subcircuit(self, num_qubits: int, name: str = "stage") -> Circuit:
+        return Circuit(num_qubits, self.gates, name=name)
+
+    def kernel_cost(self) -> float:
+        return self.kernels.total_cost if self.kernels is not None else 0.0
+
+    def validate_locality(self) -> bool:
+        """Check the staging invariant: non-insular qubits are all local."""
+        local = set(self.partition.local)
+        for gate in self.gates:
+            if not set(gate.non_insular_qubits()) <= local:
+                return False
+        return True
+
+
+@dataclass
+class ExecutionPlan:
+    """A fully partitioned circuit: ordered stages with kernelized gates."""
+
+    num_qubits: int
+    stages: list[Stage]
+    circuit_name: str = "circuit"
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def num_kernels(self) -> int:
+        return sum(len(s.kernels) if s.kernels is not None else 0 for s in self.stages)
+
+    @property
+    def total_kernel_cost(self) -> float:
+        return sum(s.kernel_cost() for s in self.stages)
+
+    def all_gates(self) -> list[Gate]:
+        out: list[Gate] = []
+        for stage in self.stages:
+            out.extend(stage.gates)
+        return out
+
+    def gate_count(self) -> int:
+        return sum(s.num_gates for s in self.stages)
+
+    def validate(self, circuit: Circuit) -> None:
+        """Validate the plan against the original circuit.
+
+        Checks that every gate appears exactly once, that the per-stage
+        locality invariant holds, and that the stage assignment respects
+        gate dependencies (a gate never appears in an earlier stage than a
+        predecessor it depends on).
+        """
+        if self.gate_count() != len(circuit):
+            raise ValueError(
+                f"plan covers {self.gate_count()} gates, circuit has {len(circuit)}"
+            )
+        seen: list[int] = []
+        for stage in self.stages:
+            if not stage.validate_locality():
+                raise ValueError("stage violates the locality invariant")
+            seen.extend(stage.gate_indices)
+        if sorted(seen) != list(range(len(circuit))):
+            raise ValueError("plan does not cover every gate exactly once")
+        if not circuit.is_topologically_equivalent(seen):
+            raise ValueError("stage assignment violates gate dependencies")
+
+    def summary(self) -> dict:
+        return {
+            "circuit": self.circuit_name,
+            "num_qubits": self.num_qubits,
+            "num_stages": self.num_stages,
+            "num_kernels": self.num_kernels,
+            "total_kernel_cost": self.total_kernel_cost,
+            "gates_per_stage": [s.num_gates for s in self.stages],
+        }

@@ -1,0 +1,293 @@
+"""Circuit staging (Section IV of the paper).
+
+The staging problem splits a circuit into at most ``s`` contiguous-in-
+dependency-order stages and picks, for every stage, a partition of the
+logical qubits into ``L`` local, ``R`` regional and ``G`` global qubits
+such that every *non-insular* qubit of every gate of the stage is local.
+Communication then happens only between stages (a qubit remapping
+all-to-all), and the objective (Equation 2/3) charges 1 unit for every
+qubit that newly becomes local and ``c`` units for every qubit that newly
+becomes global.
+
+This module implements:
+
+* :func:`build_staging_ilp` — the binary ILP of Equations (3)–(11),
+* :func:`solve_staging` — one solve for a fixed number of stages ``s``,
+* :func:`stage_circuit` — Algorithm 2: iterate ``s = 1, 2, ...`` and return
+  the first feasible (hence stage-count-minimal) solution,
+* the extraction of per-stage subcircuits and qubit partitions from the
+  ILP solution, including the re-insertion of fully-insular gates that the
+  ILP does not need to see (an optimisation described in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+from ..ilp import IlpModel, SolveStatus, lin_sum, solve
+from .plan import QubitPartition, Stage
+
+__all__ = ["StagingResult", "build_staging_ilp", "solve_staging", "stage_circuit"]
+
+
+@dataclass
+class StagingResult:
+    """Result of the staging algorithm."""
+
+    stages: list[Stage]
+    num_stages: int
+    communication_cost: float
+    ilp_feasible: bool
+    solver_status: str = ""
+
+    def partitions(self) -> list[QubitPartition]:
+        return [s.partition for s in self.stages]
+
+
+@dataclass
+class _IlpGate:
+    """A gate as seen by the ILP: only its non-insular qubits matter."""
+
+    original_index: int
+    non_insular: tuple[int, ...]
+    qubits: tuple[int, ...]
+
+
+def _ilp_gates(circuit: Circuit) -> list[_IlpGate]:
+    """Gates with at least one non-insular qubit (the only ones the ILP must place).
+
+    Fully-insular gates (diagonal gates, controlled-phase gates, ...) can be
+    executed in any stage without affecting locality, so they are assigned
+    after the solve; dropping them shrinks the ILP dramatically for
+    phase-heavy circuits such as ``qft``.
+    """
+    out = []
+    for idx, gate in enumerate(circuit):
+        non_insular = gate.non_insular_qubits()
+        if non_insular:
+            out.append(_IlpGate(idx, non_insular, gate.qubits))
+    return out
+
+
+def _ilp_dependencies(circuit: Circuit, gates: Sequence[_IlpGate]) -> list[tuple[int, int]]:
+    """Dependencies among the ILP gates, projected through insular gates.
+
+    Fully-insular gates are not part of the ILP, but dependency chains that
+    pass *through* them (e.g. ``h(a) → cp(a,b) → h(b)``) still constrain the
+    relative stages of the surrounding non-insular gates.  This walk
+    propagates, along every qubit, the set of ILP gates whose influence has
+    reached the current position without crossing another ILP gate, and
+    emits an edge whenever an ILP gate consumes that influence.
+    """
+    ilp_index = {g.original_index: r for r, g in enumerate(gates)}
+    # frontier[q]: set of reduced ILP-gate indices reaching the latest gate on q.
+    frontier: dict[int, frozenset[int]] = {}
+    edges: set[tuple[int, int]] = set()
+    for idx, gate in enumerate(circuit):
+        incoming: set[int] = set()
+        for q in gate.qubits:
+            incoming |= frontier.get(q, frozenset())
+        if idx in ilp_index:
+            r = ilp_index[idx]
+            for src in incoming:
+                if src != r:
+                    edges.add((src, r))
+            carried = frozenset({r})
+        else:
+            carried = frozenset(incoming)
+        for q in gate.qubits:
+            frontier[q] = carried
+    return sorted(edges)
+
+
+def build_staging_ilp(
+    circuit: Circuit,
+    num_stages: int,
+    local_qubits: int,
+    regional_qubits: int,
+    global_qubits: int,
+    inter_node_cost_factor: float = 3.0,
+) -> tuple[IlpModel, dict]:
+    """Build the binary ILP of Equations (3)–(11).
+
+    Returns the model plus a dictionary of the variable matrices
+    (``A[q][k]``, ``B[q][k]``, ``F[g][k]``) needed to extract the staging.
+    """
+    n = circuit.num_qubits
+    if local_qubits + regional_qubits + global_qubits != n:
+        raise ValueError(
+            f"L+R+G = {local_qubits + regional_qubits + global_qubits} "
+            f"must equal the number of qubits ({n})"
+        )
+    s = num_stages
+    gates = _ilp_gates(circuit)
+    deps = _ilp_dependencies(circuit, gates)
+
+    model = IlpModel(name=f"stage_{circuit.name}_s{s}")
+    # A[q][k] = 1 iff logical qubit q is local at stage k;
+    # B[q][k] = 1 iff it is global at stage k.
+    a_vars = [[model.binary_var(f"A_{q}_{k}") for k in range(s)] for q in range(n)]
+    b_vars = [[model.binary_var(f"B_{q}_{k}") for k in range(s)] for q in range(n)]
+    # F[g][k] = 1 iff ILP gate g is finished by the end of stage k.
+    f_vars = [[model.binary_var(f"F_{g}_{k}") for k in range(s)] for g in range(len(gates))]
+    # S/T are the transition indicator variables of the objective.
+    s_vars = [[model.binary_var(f"S_{q}_{k}") for k in range(s - 1)] for q in range(n)]
+    t_vars = [[model.binary_var(f"T_{q}_{k}") for k in range(s - 1)] for q in range(n)]
+
+    # Objective (3): total qubit-update cost across stage transitions.
+    objective_terms = []
+    for q in range(n):
+        for k in range(s - 1):
+            objective_terms.append(s_vars[q][k])
+            objective_terms.append(inter_node_cost_factor * t_vars[q][k])
+    model.minimize(lin_sum(objective_terms) if objective_terms else lin_sum([]))
+
+    for q in range(n):
+        for k in range(s - 1):
+            # (4): A[q][k+1] <= A[q][k] + S[q][k]
+            model.add_constraint(a_vars[q][k + 1] - a_vars[q][k] - s_vars[q][k] <= 0)
+            # (5): B[q][k+1] <= B[q][k] + T[q][k]
+            model.add_constraint(b_vars[q][k + 1] - b_vars[q][k] - t_vars[q][k] <= 0)
+
+    for g in range(len(gates)):
+        for k in range(s - 1):
+            # (6): F[g][k] <= F[g][k+1]
+            model.add_constraint(f_vars[g][k] - f_vars[g][k + 1] <= 0)
+        # (7): F[g][k] <= F[g][k-1] + A[q][k] for every non-insular qubit q.
+        for q in gates[g].non_insular:
+            for k in range(s):
+                if k == 0:
+                    model.add_constraint(f_vars[g][0] - a_vars[q][0] <= 0)
+                else:
+                    model.add_constraint(f_vars[g][k] - f_vars[g][k - 1] - a_vars[q][k] <= 0)
+        # (9): F[g][s-1] = 1
+        model.add_eq(f_vars[g][s - 1], 1)
+
+    # (8): dependency order — if g2 is finished by stage k, so is g1.
+    for g1, g2 in deps:
+        for k in range(s):
+            model.add_constraint(f_vars[g2][k] - f_vars[g1][k] <= 0)
+
+    for q in range(n):
+        for k in range(s):
+            # (10): a qubit cannot be local and global at the same time.
+            model.add_constraint(a_vars[q][k] + b_vars[q][k] <= 1)
+    for k in range(s):
+        # (11): exactly L local and G global qubits at each stage.
+        model.add_eq(lin_sum([a_vars[q][k] for q in range(n)]), local_qubits)
+        model.add_eq(lin_sum([b_vars[q][k] for q in range(n)]), global_qubits)
+
+    variables = {"A": a_vars, "B": b_vars, "F": f_vars, "S": s_vars, "T": t_vars, "gates": gates}
+    return model, variables
+
+
+def solve_staging(
+    circuit: Circuit,
+    num_stages: int,
+    local_qubits: int,
+    regional_qubits: int,
+    global_qubits: int,
+    inter_node_cost_factor: float = 3.0,
+    backend: str = "scipy",
+    time_limit: float | None = 120.0,
+) -> StagingResult | None:
+    """Solve the staging ILP for a fixed stage count; ``None`` if infeasible."""
+    model, variables = build_staging_ilp(
+        circuit, num_stages, local_qubits, regional_qubits, global_qubits,
+        inter_node_cost_factor,
+    )
+    solution = solve(model, backend=backend, time_limit=time_limit)
+    if not solution.status.is_feasible:
+        return None
+    return _extract_stages(circuit, num_stages, variables, solution,
+                           local_qubits, regional_qubits, global_qubits)
+
+
+def _extract_stages(
+    circuit: Circuit,
+    num_stages: int,
+    variables: dict,
+    solution,
+    local_qubits: int,
+    regional_qubits: int,
+    global_qubits: int,
+) -> StagingResult:
+    """Turn an ILP solution into per-stage subcircuits and qubit partitions."""
+    n = circuit.num_qubits
+    a_vars, b_vars, f_vars = variables["A"], variables["B"], variables["F"]
+    ilp_gates = variables["gates"]
+
+    partitions: list[QubitPartition] = []
+    for k in range(num_stages):
+        local = {q for q in range(n) if solution.int_value(a_vars[q][k]) == 1}
+        global_ = {q for q in range(n) if solution.int_value(b_vars[q][k]) == 1}
+        regional = set(range(n)) - local - global_
+        partitions.append(QubitPartition.from_sets(local, regional, global_))
+
+    # Stage index of each ILP gate: min{k | F[g][k] = 1}.
+    ilp_stage_of_gate: dict[int, int] = {}
+    for g, gate in enumerate(ilp_gates):
+        for k in range(num_stages):
+            if solution.int_value(f_vars[g][k]) == 1:
+                ilp_stage_of_gate[gate.original_index] = k
+                break
+
+    # Assign every gate (including fully-insular ones) to a stage.  Insular
+    # gates go to the latest stage of any predecessor on their qubits, which
+    # always exists between their neighbours' stages.
+    stage_of_gate: list[int] = [0] * len(circuit)
+    last_stage_on_qubit = [0] * n
+    for idx, gate in enumerate(circuit):
+        if idx in ilp_stage_of_gate:
+            k = ilp_stage_of_gate[idx]
+        else:
+            k = max((last_stage_on_qubit[q] for q in gate.qubits), default=0)
+        stage_of_gate[idx] = k
+        for q in gate.qubits:
+            last_stage_on_qubit[q] = max(last_stage_on_qubit[q], k)
+
+    stages: list[Stage] = []
+    for k in range(num_stages):
+        indices = [i for i, sk in enumerate(stage_of_gate) if sk == k]
+        gates = [circuit[i] for i in indices]
+        stages.append(Stage(gates=gates, partition=partitions[k], gate_indices=indices))
+
+    cost = float(solution.objective) if solution.objective is not None else 0.0
+    return StagingResult(
+        stages=stages,
+        num_stages=num_stages,
+        communication_cost=cost,
+        ilp_feasible=True,
+        solver_status=solution.status.value,
+    )
+
+
+def stage_circuit(
+    circuit: Circuit,
+    local_qubits: int,
+    regional_qubits: int,
+    global_qubits: int,
+    inter_node_cost_factor: float = 3.0,
+    backend: str = "scipy",
+    max_stages: int = 32,
+    time_limit: float | None = 120.0,
+) -> StagingResult:
+    """Algorithm 2: find the minimum feasible number of stages via the ILP.
+
+    Raises :class:`RuntimeError` if no feasible staging exists within
+    ``max_stages`` (which would indicate a circuit/architecture mismatch,
+    e.g. a single gate with more non-insular qubits than ``L``).
+    """
+    for s in range(1, max_stages + 1):
+        result = solve_staging(
+            circuit, s, local_qubits, regional_qubits, global_qubits,
+            inter_node_cost_factor, backend=backend, time_limit=time_limit,
+        )
+        if result is not None:
+            return result
+    raise RuntimeError(
+        f"no feasible staging of {circuit.name!r} within {max_stages} stages "
+        f"(L={local_qubits}, R={regional_qubits}, G={global_qubits})"
+    )

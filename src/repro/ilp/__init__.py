@@ -1,0 +1,48 @@
+"""Integer linear programming substrate (modelling layer + solver backends)."""
+
+from __future__ import annotations
+
+from .branch_bound import solve_with_branch_and_bound
+from .model import (
+    Constraint,
+    ConstraintSense,
+    IlpModel,
+    LinExpr,
+    Solution,
+    SolveStatus,
+    Variable,
+    VarType,
+    lin_sum,
+)
+from .scipy_backend import solve_with_scipy
+
+__all__ = [
+    "IlpModel",
+    "LinExpr",
+    "Variable",
+    "VarType",
+    "Constraint",
+    "ConstraintSense",
+    "Solution",
+    "SolveStatus",
+    "lin_sum",
+    "solve",
+    "solve_with_scipy",
+    "solve_with_branch_and_bound",
+    "BACKENDS",
+]
+
+BACKENDS = {
+    "scipy": solve_with_scipy,
+    "highs": solve_with_scipy,
+    "branch-and-bound": solve_with_branch_and_bound,
+}
+
+
+def solve(model: IlpModel, backend: str = "scipy", time_limit: float | None = None) -> Solution:
+    """Solve *model* with the named backend (``scipy``/``highs`` or ``branch-and-bound``)."""
+    try:
+        solver = BACKENDS[backend]
+    except KeyError as exc:
+        raise ValueError(f"unknown ILP backend {backend!r}; known: {sorted(BACKENDS)}") from exc
+    return solver(model, time_limit=time_limit)

@@ -1,0 +1,164 @@
+"""Pure-Python branch-and-bound ILP solver.
+
+A fallback backend (and a cross-check for the HiGHS backend in tests):
+solves the LP relaxation with :func:`scipy.optimize.linprog` and branches on
+the most fractional integer variable, exploring the tree best-first with
+node pruning against the incumbent.  Only intended for the modest model
+sizes produced by the circuit-staging formulation of small circuits; the
+HiGHS backend is the default everywhere else.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .model import ConstraintSense, IlpModel, Solution, SolveStatus, VarType
+
+__all__ = ["solve_with_branch_and_bound"]
+
+_INT_TOL = 1e-6
+
+
+def _build_lp(model: IlpModel):
+    """Lower the model to linprog form (A_ub, b_ub, A_eq, b_eq, c, bounds)."""
+    n = model.num_variables
+    c = np.zeros(n)
+    for idx, coeff in model.objective.coeffs.items():
+        c[idx] = coeff
+
+    ub_rows, ub_cols, ub_data, b_ub = [], [], [], []
+    eq_rows, eq_cols, eq_data, b_eq = [], [], [], []
+    n_ub = n_eq = 0
+    for con in model.constraints:
+        rhs = -con.expr.constant
+        if con.sense is ConstraintSense.EQ:
+            for idx, coeff in con.expr.coeffs.items():
+                eq_rows.append(n_eq)
+                eq_cols.append(idx)
+                eq_data.append(coeff)
+            b_eq.append(rhs)
+            n_eq += 1
+        else:
+            sign = 1.0 if con.sense is ConstraintSense.LE else -1.0
+            for idx, coeff in con.expr.coeffs.items():
+                ub_rows.append(n_ub)
+                ub_cols.append(idx)
+                ub_data.append(sign * coeff)
+            b_ub.append(sign * rhs)
+            n_ub += 1
+
+    a_ub = sparse.csr_matrix((ub_data, (ub_rows, ub_cols)), shape=(n_ub, n)) if n_ub else None
+    a_eq = sparse.csr_matrix((eq_data, (eq_rows, eq_cols)), shape=(n_eq, n)) if n_eq else None
+    bounds = [(var.lower, var.upper) for var in model.variables]
+    int_vars = [v.index for v in model.variables if v.var_type in (VarType.BINARY, VarType.INTEGER)]
+    return c, a_ub, np.array(b_ub), a_eq, np.array(b_eq), bounds, int_vars
+
+
+def _solve_relaxation(c, a_ub, b_ub, a_eq, b_eq, bounds):
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub if a_ub is not None else None,
+        A_eq=a_eq,
+        b_eq=b_eq if a_eq is not None else None,
+        bounds=bounds,
+        method="highs",
+    )
+    return result
+
+
+def solve_with_branch_and_bound(
+    model: IlpModel,
+    time_limit: float | None = 60.0,
+    max_nodes: int = 100_000,
+) -> Solution:
+    """Solve *model* by LP-relaxation branch and bound.
+
+    Parameters
+    ----------
+    model:
+        The ILP to solve.
+    time_limit:
+        Wall-clock limit in seconds; the best incumbent found so far is
+        returned with status ``TIME_LIMIT`` if it is hit.
+    max_nodes:
+        Hard cap on explored branch-and-bound nodes.
+    """
+    c, a_ub, b_ub, a_eq, b_eq, base_bounds, int_vars = _build_lp(model)
+    start = time.monotonic()
+    counter = itertools.count()
+
+    root = _solve_relaxation(c, a_ub, b_ub, a_eq, b_eq, base_bounds)
+    if root.status == 2:
+        return Solution(status=SolveStatus.INFEASIBLE)
+    if root.status == 3:
+        return Solution(status=SolveStatus.UNBOUNDED)
+    if root.status != 0:
+        return Solution(status=SolveStatus.ERROR)
+
+    best_obj = math.inf
+    best_x: np.ndarray | None = None
+    # Best-first frontier keyed by the relaxation bound.
+    frontier: list[tuple[float, int, list[tuple[float, float]], np.ndarray]] = []
+    heapq.heappush(frontier, (root.fun, next(counter), base_bounds, root.x))
+    nodes = 0
+    timed_out = False
+
+    while frontier:
+        bound, _, bounds, x = heapq.heappop(frontier)
+        if bound >= best_obj - 1e-9:
+            continue
+        nodes += 1
+        if nodes > max_nodes:
+            timed_out = True
+            break
+        if time_limit is not None and time.monotonic() - start > time_limit:
+            timed_out = True
+            break
+
+        # Find the most fractional integer variable.
+        frac_idx = -1
+        frac_amount = _INT_TOL
+        for idx in int_vars:
+            frac = abs(x[idx] - round(x[idx]))
+            if frac > frac_amount:
+                frac_amount = frac
+                frac_idx = idx
+        if frac_idx < 0:
+            # Integral solution.
+            if bound < best_obj:
+                best_obj = bound
+                best_x = x.copy()
+            continue
+
+        floor_val = math.floor(x[frac_idx])
+        for lo, hi in ((bounds[frac_idx][0], floor_val), (floor_val + 1, bounds[frac_idx][1])):
+            if lo > hi:
+                continue
+            child_bounds = list(bounds)
+            child_bounds[frac_idx] = (lo, hi)
+            res = _solve_relaxation(c, a_ub, b_ub, a_eq, b_eq, child_bounds)
+            if res.status != 0:
+                continue
+            if res.fun < best_obj - 1e-9:
+                heapq.heappush(frontier, (res.fun, next(counter), child_bounds, res.x))
+
+    if best_x is None:
+        if timed_out:
+            return Solution(status=SolveStatus.TIME_LIMIT)
+        return Solution(status=SolveStatus.INFEASIBLE)
+
+    # Round integer variables and report.
+    values = {i: float(v) for i, v in enumerate(best_x)}
+    for idx in int_vars:
+        values[idx] = float(round(values[idx]))
+    status = SolveStatus.TIME_LIMIT if timed_out else SolveStatus.OPTIMAL
+    objective = float(model.objective.evaluate(values))
+    return Solution(status=status, objective=objective, values=values)

@@ -1,0 +1,280 @@
+"""A small integer-linear-programming modelling layer.
+
+The paper formulates circuit staging as a binary ILP and hands it to an
+off-the-shelf solver (PuLP + HiGHS).  This module provides the modelling
+front-end of that substrate: variables, linear expressions, linear
+constraints and a minimisation objective, collected in an :class:`IlpModel`
+that solver backends (:mod:`repro.ilp.scipy_backend`,
+:mod:`repro.ilp.branch_bound`) translate into their native form.
+
+The expression algebra intentionally supports only what linear programs
+need: ``var * const``, ``expr + expr``, ``expr - expr``, comparisons against
+expressions or constants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = [
+    "VarType",
+    "Variable",
+    "LinExpr",
+    "Constraint",
+    "ConstraintSense",
+    "IlpModel",
+    "SolveStatus",
+    "Solution",
+    "lin_sum",
+]
+
+
+class VarType(enum.Enum):
+    """Kind of decision variable."""
+
+    BINARY = "binary"
+    INTEGER = "integer"
+    CONTINUOUS = "continuous"
+
+
+class ConstraintSense(enum.Enum):
+    """Direction of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIME_LIMIT = "time_limit"
+    ERROR = "error"
+
+    @property
+    def is_feasible(self) -> bool:
+        return self in (SolveStatus.OPTIMAL, SolveStatus.TIME_LIMIT)
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable.  Identity is by ``index`` within its model."""
+
+    index: int
+    name: str
+    var_type: VarType
+    lower: float = 0.0
+    upper: float = 1.0
+
+    # -- expression algebra -------------------------------------------------
+    def __add__(self, other) -> "LinExpr":
+        return LinExpr.from_term(self) + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return LinExpr.from_term(self) - other
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (-1.0 * self) + other
+
+    def __mul__(self, scalar: float) -> "LinExpr":
+        return LinExpr({self.index: float(scalar)}, 0.0)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    def __le__(self, other) -> "Constraint":
+        return LinExpr.from_term(self) <= other
+
+    def __ge__(self, other) -> "Constraint":
+        return LinExpr.from_term(self) >= other
+
+    # Note: __eq__ is kept as identity (dataclass) so Variables stay hashable;
+    # use ``expr == const`` through LinExpr via IlpModel.add_eq or build the
+    # LinExpr explicitly.
+    def eq(self, other) -> "Constraint":
+        return LinExpr.from_term(self).eq(other)
+
+
+@dataclass
+class LinExpr:
+    """A linear expression ``sum(coeff_i * var_i) + constant``."""
+
+    coeffs: dict[int, float] = field(default_factory=dict)
+    constant: float = 0.0
+
+    @classmethod
+    def from_term(cls, var: Variable, coeff: float = 1.0) -> "LinExpr":
+        return cls({var.index: float(coeff)}, 0.0)
+
+    @classmethod
+    def constant_expr(cls, value: float) -> "LinExpr":
+        return cls({}, float(value))
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.coeffs), self.constant)
+
+    def _coerce(self, other) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return LinExpr.from_term(other)
+        if isinstance(other, (int, float)):
+            return LinExpr.constant_expr(float(other))
+        raise TypeError(f"cannot combine LinExpr with {type(other)!r}")
+
+    def __add__(self, other) -> "LinExpr":
+        other = self._coerce(other)
+        out = self.copy()
+        for idx, coeff in other.coeffs.items():
+            out.coeffs[idx] = out.coeffs.get(idx, 0.0) + coeff
+        out.constant += other.constant
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return self._coerce(other) - self
+
+    def __mul__(self, scalar: float) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("LinExpr can only be scaled by a constant")
+        return LinExpr({i: c * scalar for i, c in self.coeffs.items()}, self.constant * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - self._coerce(other), ConstraintSense.LE)
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - self._coerce(other), ConstraintSense.GE)
+
+    def eq(self, other) -> "Constraint":
+        return Constraint(self - self._coerce(other), ConstraintSense.EQ)
+
+    def evaluate(self, values: Mapping[int, float]) -> float:
+        return self.constant + sum(c * values.get(i, 0.0) for i, c in self.coeffs.items())
+
+
+def lin_sum(terms: Iterable) -> LinExpr:
+    """Sum variables/expressions/constants into a single :class:`LinExpr`."""
+    total = LinExpr()
+    for term in terms:
+        total = total + term
+    return total
+
+
+@dataclass
+class Constraint:
+    """``expr (<=|>=|==) 0`` — the right-hand side has been folded into *expr*."""
+
+    expr: LinExpr
+    sense: ConstraintSense
+    name: str = ""
+
+    def is_satisfied(self, values: Mapping[int, float], tol: float = 1e-6) -> bool:
+        value = self.expr.evaluate(values)
+        if self.sense is ConstraintSense.LE:
+            return value <= tol
+        if self.sense is ConstraintSense.GE:
+            return value >= -tol
+        return abs(value) <= tol
+
+
+@dataclass
+class Solution:
+    """Result of a solver backend."""
+
+    status: SolveStatus
+    objective: float | None = None
+    values: dict[int, float] = field(default_factory=dict)
+
+    def value(self, var: Variable) -> float:
+        return self.values.get(var.index, 0.0)
+
+    def int_value(self, var: Variable) -> int:
+        return int(round(self.value(var)))
+
+
+class IlpModel:
+    """Container for variables, constraints and the objective."""
+
+    def __init__(self, name: str = "ilp"):
+        self.name = name
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+
+    # -- variable creation ----------------------------------------------------
+
+    def binary_var(self, name: str) -> Variable:
+        return self._add_var(name, VarType.BINARY, 0.0, 1.0)
+
+    def integer_var(self, name: str, lower: float = 0.0, upper: float = 1e9) -> Variable:
+        return self._add_var(name, VarType.INTEGER, lower, upper)
+
+    def continuous_var(self, name: str, lower: float = 0.0, upper: float = 1e18) -> Variable:
+        return self._add_var(name, VarType.CONTINUOUS, lower, upper)
+
+    def _add_var(self, name: str, var_type: VarType, lower: float, upper: float) -> Variable:
+        var = Variable(len(self.variables), name, var_type, lower, upper)
+        self.variables.append(var)
+        return var
+
+    # -- constraints / objective ----------------------------------------------
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_eq(self, expr, value, name: str = "") -> Constraint:
+        if isinstance(expr, Variable):
+            expr = LinExpr.from_term(expr)
+        return self.add_constraint(expr.eq(value), name)
+
+    def minimize(self, expr) -> None:
+        if isinstance(expr, Variable):
+            expr = LinExpr.from_term(expr)
+        self.objective = expr
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def check_solution(self, values: Mapping[int, float], tol: float = 1e-6) -> bool:
+        """Verify that *values* satisfy every constraint and integrality."""
+        for var in self.variables:
+            v = values.get(var.index, 0.0)
+            if v < var.lower - tol or v > var.upper + tol:
+                return False
+            if var.var_type in (VarType.BINARY, VarType.INTEGER) and abs(v - round(v)) > tol:
+                return False
+        return all(c.is_satisfied(values, tol) for c in self.constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<IlpModel {self.name!r}: {self.num_variables} vars, "
+            f"{self.num_constraints} constraints>"
+        )

@@ -1,0 +1,102 @@
+"""ILP backend based on :func:`scipy.optimize.milp` (HiGHS).
+
+This mirrors the paper's use of the HiGHS solver through PuLP: the model is
+lowered to the sparse matrix form HiGHS expects and solved as a
+mixed-integer linear program.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from .model import ConstraintSense, IlpModel, Solution, SolveStatus, VarType
+
+__all__ = ["solve_with_scipy"]
+
+
+def _lower_model(model: IlpModel):
+    """Lower an :class:`IlpModel` to (c, A, lb, ub, integrality, bounds)."""
+    n = model.num_variables
+    c = np.zeros(n)
+    for idx, coeff in model.objective.coeffs.items():
+        c[idx] = coeff
+
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    con_lb: list[float] = []
+    con_ub: list[float] = []
+    for row, con in enumerate(model.constraints):
+        for idx, coeff in con.expr.coeffs.items():
+            if coeff != 0.0:
+                rows.append(row)
+                cols.append(idx)
+                data.append(coeff)
+        rhs = -con.expr.constant
+        if con.sense is ConstraintSense.LE:
+            con_lb.append(-np.inf)
+            con_ub.append(rhs)
+        elif con.sense is ConstraintSense.GE:
+            con_lb.append(rhs)
+            con_ub.append(np.inf)
+        else:
+            con_lb.append(rhs)
+            con_ub.append(rhs)
+
+    num_cons = len(model.constraints)
+    a_matrix = sparse.csr_matrix((data, (rows, cols)), shape=(num_cons, n))
+
+    integrality = np.zeros(n)
+    lower = np.zeros(n)
+    upper = np.zeros(n)
+    for var in model.variables:
+        lower[var.index] = var.lower
+        upper[var.index] = var.upper
+        if var.var_type in (VarType.BINARY, VarType.INTEGER):
+            integrality[var.index] = 1
+    return c, a_matrix, np.array(con_lb), np.array(con_ub), integrality, lower, upper
+
+
+def solve_with_scipy(model: IlpModel, time_limit: float | None = None) -> Solution:
+    """Solve *model* with ``scipy.optimize.milp`` (HiGHS).
+
+    Parameters
+    ----------
+    model:
+        The ILP to solve.
+    time_limit:
+        Optional wall-clock limit in seconds passed to HiGHS.
+    """
+    c, a_matrix, con_lb, con_ub, integrality, lower, upper = _lower_model(model)
+    constraints = []
+    if model.constraints:
+        constraints.append(LinearConstraint(a_matrix, con_lb, con_ub))
+    options: dict = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    result = milp(
+        c=c,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=Bounds(lower, upper),
+        options=options,
+    )
+    # scipy milp status codes: 0 optimal, 1 iteration/time limit, 2 infeasible,
+    # 3 unbounded, 4 other.
+    if result.status == 0:
+        status = SolveStatus.OPTIMAL
+    elif result.status == 1:
+        status = SolveStatus.TIME_LIMIT if result.x is not None else SolveStatus.ERROR
+    elif result.status == 2:
+        status = SolveStatus.INFEASIBLE
+    elif result.status == 3:
+        status = SolveStatus.UNBOUNDED
+    else:
+        status = SolveStatus.ERROR
+
+    if result.x is None or not status.is_feasible:
+        return Solution(status=status)
+    values = {i: float(v) for i, v in enumerate(result.x)}
+    return Solution(status=status, objective=float(result.fun), values=values)

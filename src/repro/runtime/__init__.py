@@ -1,0 +1,18 @@
+"""Execution runtime: functional executors, sharding, DRAM offload, and the timing model."""
+
+from .executor import ExecutionTrace, execute_plan
+from .offload import OffloadStats, execute_plan_offloaded
+from .sharding import QubitLayout, permute_state, shard_slices
+from .timeline import TimingBreakdown, model_simulation_time
+
+__all__ = [
+    "execute_plan",
+    "ExecutionTrace",
+    "execute_plan_offloaded",
+    "OffloadStats",
+    "QubitLayout",
+    "permute_state",
+    "shard_slices",
+    "TimingBreakdown",
+    "model_simulation_time",
+]

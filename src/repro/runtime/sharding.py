@@ -1,0 +1,127 @@
+"""State-vector layout management: logical→physical permutation and sharding.
+
+Between stages Atlas remaps qubits so that the next stage's local qubits
+occupy the low-order *physical* positions of the distributed state
+(Algorithm 1's ``SHARD`` step).  Functionally this is a permutation of the
+amplitude array; on the real machine it is an all-to-all exchange whose
+cost is modelled in :mod:`repro.cluster.comm`.
+
+The functional permutation here is exact: the state is viewed as a rank-n
+tensor (axis ``n-1-p`` holds physical qubit ``p``) and axes are transposed
+so that each logical qubit moves to its new physical position.  Shards are
+then contiguous slices of the permuted array: shard ``j`` holds the
+amplitudes whose non-local physical bits encode ``j``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.plan import QubitPartition
+
+__all__ = ["QubitLayout", "permute_state", "shard_slices"]
+
+
+class QubitLayout:
+    """Tracks the current logical→physical qubit mapping of the state."""
+
+    def __init__(self, num_qubits: int, mapping: dict[int, int] | None = None):
+        self.num_qubits = num_qubits
+        if mapping is None:
+            self._logical_to_physical = {q: q for q in range(num_qubits)}
+        else:
+            self._validate(mapping, num_qubits)
+            self._logical_to_physical = dict(mapping)
+
+    @staticmethod
+    def _validate(mapping: dict[int, int], num_qubits: int) -> None:
+        if sorted(mapping.keys()) != list(range(num_qubits)):
+            raise ValueError("mapping must cover every logical qubit")
+        if sorted(mapping.values()) != list(range(num_qubits)):
+            raise ValueError("mapping must be a permutation of physical positions")
+
+    def physical(self, logical: int) -> int:
+        return self._logical_to_physical[logical]
+
+    def logical(self, physical: int) -> int:
+        return self.physical_to_logical()[physical]
+
+    def logical_to_physical(self) -> dict[int, int]:
+        return dict(self._logical_to_physical)
+
+    def physical_to_logical(self) -> dict[int, int]:
+        return {p: q for q, p in self._logical_to_physical.items()}
+
+    def copy(self) -> "QubitLayout":
+        return QubitLayout(self.num_qubits, self._logical_to_physical)
+
+    def update(self, mapping: dict[int, int]) -> None:
+        self._validate(mapping, self.num_qubits)
+        self._logical_to_physical = dict(mapping)
+
+    def is_identity(self) -> bool:
+        return all(p == q for q, p in self._logical_to_physical.items())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, QubitLayout):
+            return NotImplemented
+        return self._logical_to_physical == other._logical_to_physical
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<QubitLayout {self._logical_to_physical}>"
+
+
+def permute_state(
+    state: np.ndarray, current: QubitLayout, target: dict[int, int]
+) -> np.ndarray:
+    """Permute *state* from the *current* layout to the *target* mapping.
+
+    Parameters
+    ----------
+    state:
+        Flat amplitude array laid out according to *current* (physical bit
+        ``p`` of the index is logical qubit ``current.logical(p)``).
+    current:
+        Current layout (not modified).
+    target:
+        Desired logical→physical mapping.
+
+    Returns
+    -------
+    numpy.ndarray
+        A new, C-contiguous array in the target layout.
+    """
+    n = current.num_qubits
+    if state.size != 1 << n:
+        raise ValueError("state size does not match layout")
+    cur_map = current.logical_to_physical()
+    if cur_map == target:
+        return state
+
+    tensor = state.reshape((2,) * n)
+    # Axis a of the current tensor holds physical qubit p = n-1-a, i.e.
+    # logical qubit current.logical(p).  In the target tensor, axis a' must
+    # hold the logical qubit mapped to physical position n-1-a'.
+    phys_to_logical = {p: q for q, p in cur_map.items()}
+    logical_to_axis = {phys_to_logical[p]: n - 1 - p for p in range(n)}
+    axes = []
+    for new_axis in range(n):
+        physical = n - 1 - new_axis
+        logical = next(q for q, p in target.items() if p == physical)
+        axes.append(logical_to_axis[logical])
+    permuted = np.transpose(tensor, axes=axes)
+    return np.ascontiguousarray(permuted).reshape(-1)
+
+
+def shard_slices(state: np.ndarray, local_qubits: int) -> list[np.ndarray]:
+    """Split *state* into contiguous shards of ``2^local_qubits`` amplitudes.
+
+    The returned arrays are views into *state* — mutating them mutates the
+    underlying state, which is exactly what the shard-by-shard executor
+    wants.
+    """
+    shard_size = 1 << local_qubits
+    if state.size % shard_size != 0:
+        raise ValueError("state size is not a multiple of the shard size")
+    num_shards = state.size // shard_size
+    return [state[j * shard_size : (j + 1) * shard_size] for j in range(num_shards)]

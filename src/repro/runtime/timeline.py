@@ -1,0 +1,155 @@
+"""Performance model: modelled wall-clock time of a plan on a machine.
+
+The GPUs, NVLink and Slingshot network of the paper's testbed are replaced
+by a discrete performance model (see DESIGN.md).  For a partitioned plan
+this module computes:
+
+* per-stage **computation time** — the summed kernel cost of the stage,
+  converted to seconds for a ``2^L`` shard, times the number of sequential
+  shard passes each GPU has to make (one when there are at least as many
+  GPUs as shards, more when shards are swapped through DRAM),
+* per-transition **communication time** — the all-to-all exchange modelled
+  by :mod:`repro.cluster.comm`,
+* optional **offload traffic** — PCIe transfers when the state does not fit
+  in GPU memory (Section VII-C).
+
+The output mirrors the measurements behind Figures 5–8: total simulation
+time plus the communication/computation breakdown of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.comm import CommModel
+from ..cluster.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..cluster.machine import AMPLITUDE_BYTES, MachineConfig
+from ..core.plan import ExecutionPlan
+
+__all__ = ["TimingBreakdown", "model_simulation_time"]
+
+
+@dataclass
+class TimingBreakdown:
+    """Modelled timing of one simulation run."""
+
+    total_seconds: float
+    computation_seconds: float
+    communication_seconds: float
+    offload_seconds: float
+    per_stage_compute: list[float] = field(default_factory=list)
+    per_transition_comm: list[float] = field(default_factory=list)
+    num_stages: int = 0
+    num_kernels: int = 0
+    shard_passes_per_stage: int = 1
+
+    @property
+    def communication_fraction(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return (self.communication_seconds + self.offload_seconds) / self.total_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "total_seconds": self.total_seconds,
+            "computation_seconds": self.computation_seconds,
+            "communication_seconds": self.communication_seconds,
+            "offload_seconds": self.offload_seconds,
+            "communication_fraction": self.communication_fraction,
+            "num_stages": self.num_stages,
+            "num_kernels": self.num_kernels,
+        }
+
+
+def model_simulation_time(
+    plan: ExecutionPlan,
+    machine: MachineConfig,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    kernel_overhead_factor: float = 1.0,
+    comm_overhead_factor: float = 1.0,
+) -> TimingBreakdown:
+    """Model the end-to-end simulation time of *plan* on *machine*.
+
+    Parameters
+    ----------
+    plan:
+        Kernelized execution plan.
+    machine:
+        Cluster configuration (``L``/``R``/``G``, bandwidths, overheads).
+    cost_model:
+        Converts kernel cost units to seconds.
+    kernel_overhead_factor, comm_overhead_factor:
+        Multipliers used by the baseline simulator models to express their
+        extra per-kernel / per-exchange overheads relative to Atlas; 1.0
+        for Atlas itself.
+    """
+    n = plan.num_qubits
+    machine.validate(n)
+
+    # How many shards must each GPU process sequentially?  With 2^(R+G)
+    # shards and gpus_per_node GPUs per node, shards beyond the per-node GPU
+    # count are swapped through DRAM (the offload path of Section VII-C).
+    num_shards = 1 << machine.non_local_qubits
+    physical_gpus = machine.num_nodes * machine.gpus_per_node
+    shard_passes = max(1, (num_shards + physical_gpus - 1) // physical_gpus)
+    needs_offload = machine.requires_offload(n)
+
+    comm = CommModel(machine, n)
+    compute_seconds = 0.0
+    offload_seconds = 0.0
+    per_stage_compute: list[float] = []
+    per_transition_comm: list[float] = []
+
+    prev_partition = None
+    num_kernels = 0
+    for stage in plan.stages:
+        partition = stage.partition
+        if prev_partition is not None:
+            seconds = comm.record_transition(
+                set(prev_partition.local),
+                set(prev_partition.global_),
+                set(partition.local),
+                set(partition.global_),
+            ) * comm_overhead_factor
+            per_transition_comm.append(seconds)
+        prev_partition = partition
+
+        if stage.kernels is None:
+            stage_units = 0.0
+            stage_kernels = 0
+        else:
+            stage_units = stage.kernels.total_cost
+            stage_kernels = len(stage.kernels)
+        num_kernels += stage_kernels
+        kernel_launches = stage_kernels * machine.kernel_launch_overhead
+        stage_seconds = (
+            cost_model.units_to_seconds(stage_units, machine.local_qubits)
+            + kernel_launches
+        ) * kernel_overhead_factor
+        # Every GPU processes its shards sequentially; shards on different
+        # GPUs proceed in parallel (data parallelism across shards).
+        stage_seconds *= shard_passes
+        per_stage_compute.append(stage_seconds)
+        compute_seconds += stage_seconds
+
+        if needs_offload or shard_passes > 1:
+            # Each extra shard pass streams the shard over PCIe in and out.
+            extra_passes = shard_passes if needs_offload else (shard_passes - 1)
+            bytes_moved = 2.0 * machine.shard_bytes * extra_passes * min(
+                num_shards, physical_gpus
+            )
+            offload_seconds += bytes_moved / (machine.pcie_bandwidth * physical_gpus)
+
+    communication_seconds = comm.total_time * comm_overhead_factor
+    total = compute_seconds + communication_seconds + offload_seconds
+    return TimingBreakdown(
+        total_seconds=total,
+        computation_seconds=compute_seconds,
+        communication_seconds=communication_seconds,
+        offload_seconds=offload_seconds,
+        per_stage_compute=per_stage_compute,
+        per_transition_comm=per_transition_comm,
+        num_stages=plan.num_stages,
+        num_kernels=num_kernels,
+        shard_passes_per_stage=shard_passes,
+    )

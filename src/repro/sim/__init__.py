@@ -1,0 +1,17 @@
+"""Dense state-vector simulation substrate (NumPy backend)."""
+
+from .apply import apply_diagonal, apply_matrix, expand_matrix
+from .fusion import apply_gate_sequence, fused_unitary, kernel_qubits
+from .reference import simulate_reference
+from .statevector import StateVector
+
+__all__ = [
+    "StateVector",
+    "apply_matrix",
+    "apply_diagonal",
+    "expand_matrix",
+    "fused_unitary",
+    "kernel_qubits",
+    "apply_gate_sequence",
+    "simulate_reference",
+]

@@ -1,0 +1,173 @@
+"""Low-level vectorised gate application on dense state vectors.
+
+The routines in this module are the computational core of the functional
+simulator.  They follow the NumPy optimisation guidance for this project:
+no Python-level loops over amplitudes, views instead of copies wherever the
+semantics allow, and contiguous (C-ordered) access patterns obtained by
+reshaping the state into a rank-``n`` tensor and contracting with
+:func:`numpy.tensordot`.
+
+Conventions
+-----------
+* Amplitude index ``i`` encodes qubit ``q`` in bit ``q`` (little-endian):
+  qubit 0 is the least-significant bit.
+* When the state of ``n`` qubits is reshaped to shape ``(2,)*n`` in C order,
+  qubit ``q`` corresponds to tensor axis ``n - 1 - q``.
+* Gate matrices are little-endian over their ``qubits`` tuple: matrix index
+  bit ``k`` corresponds to ``qubits[k]``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "apply_matrix",
+    "apply_diagonal",
+    "apply_permutation_x",
+    "qubit_axis",
+    "expand_matrix",
+]
+
+
+def qubit_axis(num_qubits: int, qubit: int) -> int:
+    """Tensor axis corresponding to *qubit* for a C-ordered ``(2,)*n`` tensor."""
+    return num_qubits - 1 - qubit
+
+
+def apply_matrix(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply a ``2^k × 2^k`` unitary to the given *qubits* of *state*.
+
+    Parameters
+    ----------
+    state:
+        Flat complex array of length ``2^n`` (not modified).
+    matrix:
+        Little-endian unitary over *qubits*.
+    qubits:
+        Target qubit indices; ``qubits[0]`` is the least-significant bit of
+        the matrix index.
+    out:
+        Ignored (kept for API symmetry); a new array is always returned
+        because :func:`numpy.tensordot` allocates its result.
+
+    Returns
+    -------
+    numpy.ndarray
+        The transformed state, flat, C-contiguous.
+    """
+    k = len(qubits)
+    n = int(np.log2(state.size))
+    if state.size != 1 << n:
+        raise ValueError("state length is not a power of two")
+    if matrix.shape != (1 << k, 1 << k):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {k} qubits"
+        )
+    if any(not 0 <= q < n for q in qubits):
+        raise ValueError(f"qubit indices {qubits} out of range for {n} qubits")
+    if len(set(qubits)) != k:
+        raise ValueError("duplicate qubits")
+
+    tensor = state.reshape((2,) * n)
+    gate_tensor = np.ascontiguousarray(matrix).reshape((2,) * (2 * k))
+    # Contract gate input axes with the state axes of the target qubits.
+    # Matrix tensor axis order is (out_{k-1},...,out_0, in_{k-1},...,in_0):
+    # the most-significant matrix bit comes first in C order.
+    axes = [qubit_axis(n, q) for q in reversed(qubits)]
+    result = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+    # The gate's output axes are now the first k axes (in the same
+    # most-significant-first order); move them back into place.
+    result = np.moveaxis(result, range(k), axes)
+    return np.ascontiguousarray(result).reshape(-1)
+
+
+def apply_diagonal(
+    state: np.ndarray, diagonal: np.ndarray, qubits: Sequence[int]
+) -> np.ndarray:
+    """Apply a diagonal gate given by its ``2^k`` diagonal entries in place.
+
+    Diagonal gates multiply each amplitude by a phase that depends only on
+    the bits of the target qubits, so they can be applied with a broadcasted
+    elementwise multiply — no data movement.
+    """
+    k = len(qubits)
+    n = int(np.log2(state.size))
+    if diagonal.size != 1 << k:
+        raise ValueError("diagonal length does not match qubit count")
+    tensor = state.reshape((2,) * n)
+    # Build a broadcastable phase tensor: shape 2 along each target axis,
+    # 1 elsewhere.
+    shape = [1] * n
+    for q in qubits:
+        shape[qubit_axis(n, q)] = 2
+    diag_tensor = diagonal.reshape((2,) * k)
+    # diag index bit k-1 (first axis) is qubits[k-1]; align to state axes.
+    src = list(range(k))
+    dst_axes = [qubit_axis(n, q) for q in reversed(qubits)]
+    order = np.argsort(dst_axes)
+    # Permute diag axes so they appear in increasing state-axis order, then
+    # reshape with broadcasting 1s in between.
+    diag_tensor = np.transpose(diag_tensor, axes=[src[i] for i in order])
+    full_shape = [1] * n
+    for axis in sorted(dst_axes):
+        full_shape[axis] = 2
+    tensor *= diag_tensor.reshape(full_shape)
+    return state
+
+
+def apply_permutation_x(state: np.ndarray, qubit: int) -> np.ndarray:
+    """Apply an X (bit-flip) on *qubit* by swapping slices — returns a new view-copy."""
+    n = int(np.log2(state.size))
+    tensor = state.reshape((2,) * n)
+    axis = qubit_axis(n, qubit)
+    return np.ascontiguousarray(np.flip(tensor, axis=axis)).reshape(-1)
+
+
+def expand_matrix(
+    matrix: np.ndarray, gate_qubits: Sequence[int], target_qubits: Sequence[int]
+) -> np.ndarray:
+    """Embed *matrix* (over *gate_qubits*) into the space of *target_qubits*.
+
+    ``target_qubits`` must be a superset of ``gate_qubits``.  The returned
+    matrix is little-endian over ``target_qubits`` and acts as the identity
+    on the extra qubits.  This is the primitive used by kernel fusion.
+    """
+    target = list(target_qubits)
+    missing = [q for q in gate_qubits if q not in target]
+    if missing:
+        raise ValueError(f"gate qubits {missing} not contained in target {target}")
+    k = len(gate_qubits)
+    m = len(target)
+    if matrix.shape != (1 << k, 1 << k):
+        raise ValueError("matrix shape does not match gate qubits")
+
+    # Positions of the gate qubits within the target ordering.
+    pos = [target.index(q) for q in gate_qubits]
+    dim = 1 << m
+    out = np.zeros((dim, dim), dtype=np.complex128)
+
+    other_pos = [p for p in range(m) if p not in pos]
+    # Enumerate the 2^k × 2^k blocks: for every assignment of the
+    # non-gate bits, place the gate matrix on the corresponding sub-indices.
+    gate_dim = 1 << k
+    # Precompute index contributions.
+    row_idx = np.zeros(gate_dim, dtype=np.int64)
+    for bit_k in range(k):
+        mask = ((np.arange(gate_dim) >> bit_k) & 1).astype(np.int64)
+        row_idx += mask << pos[bit_k]
+    for rest in range(1 << len(other_pos)):
+        base = 0
+        for j, p in enumerate(other_pos):
+            if (rest >> j) & 1:
+                base |= 1 << p
+        rows = row_idx + base
+        out[np.ix_(rows, rows)] = matrix
+    return out

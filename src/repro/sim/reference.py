@@ -1,0 +1,39 @@
+"""Reference simulator.
+
+The slowest, simplest possible Schrödinger-style simulator: apply every
+gate of the circuit to the full state vector, one at a time, with no
+partitioning, no fusion and no cleverness.  Every other execution path in
+this repository (staged execution, kernel fusion, DRAM offloading, the
+baseline simulator models) is validated against this implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from .statevector import StateVector
+
+__all__ = ["simulate_reference"]
+
+
+def simulate_reference(circuit: Circuit, initial_state: StateVector | None = None) -> StateVector:
+    """Simulate *circuit* gate-by-gate and return the final state.
+
+    Parameters
+    ----------
+    circuit:
+        Input circuit.
+    initial_state:
+        Optional starting state; defaults to |0...0>.  The input state is
+        not modified.
+    """
+    if initial_state is None:
+        state = StateVector.zero_state(circuit.num_qubits)
+    else:
+        if initial_state.num_qubits != circuit.num_qubits:
+            raise ValueError("initial state size does not match circuit")
+        state = initial_state.copy()
+    for gate in circuit:
+        state.apply_gate(gate)
+    return state

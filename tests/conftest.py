@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.library import (
+    dj,
+    ghz,
+    graphstate,
+    ising,
+    qft,
+    qsvm,
+    random_circuit,
+    wstate,
+)
+from repro.cluster import CostModel, MachineConfig
+
+
+@pytest.fixture
+def small_machine() -> MachineConfig:
+    """A 10-qubit machine with 4 GPU shards (L=6, R=2, G=2)."""
+    return MachineConfig.for_circuit(10, num_gpus=4, local_qubits=6)
+
+
+@pytest.fixture
+def single_gpu_machine() -> MachineConfig:
+    """An 8-qubit single-GPU machine (everything local)."""
+    return MachineConfig.for_circuit(8, num_gpus=1, local_qubits=8)
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture(
+    params=["qft", "ghz", "ising", "dj", "wstate", "qsvm", "graphstate", "random"]
+)
+def family_circuit_10(request):
+    """One 10-qubit circuit per benchmark family (plus a random circuit)."""
+    builders = {
+        "qft": lambda: qft(10),
+        "ghz": lambda: ghz(10),
+        "ising": lambda: ising(10),
+        "dj": lambda: dj(10),
+        "wstate": lambda: wstate(10),
+        "qsvm": lambda: qsvm(10),
+        "graphstate": lambda: graphstate(10),
+        "random": lambda: random_circuit(10, 60, seed=11),
+    }
+    return builders[request.param]()

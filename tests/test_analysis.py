@@ -1,0 +1,153 @@
+"""Tests for the experiment drivers and reporting helpers (repro.analysis)."""
+
+import pytest
+
+from repro.analysis import (
+    figure5_weak_scaling,
+    figure6_breakdown,
+    figure7_offloading,
+    figure8_offload_scaling,
+    figure9_staging,
+    figure10_kernelization,
+    figure13_pruning_threshold,
+    figure14_24_per_circuit_cost,
+    figure25_hhl_case_study,
+    figure26_36_preprocessing_time,
+    format_series,
+    format_table,
+    geometric_mean,
+    table1_circuit_sizes,
+)
+
+# Every driver is exercised at a reduced scale so the whole file stays fast;
+# the benchmark harness runs the paper-scale configurations.
+SMALL_FAMILIES = ("ghz", "qft", "ising")
+
+
+class TestReporting:
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no data)" in format_table([], title="x")
+
+    def test_format_series(self):
+        text = format_series("gpus", [1, 2], {"atlas": [0.1, 0.2], "hyquas": [0.3, 0.4]})
+        assert "gpus" in text
+        assert "atlas" in text
+
+
+class TestTable1:
+    def test_gate_counts_grow_with_qubits(self):
+        rows = table1_circuit_sizes(families=SMALL_FAMILIES, qubit_range=[8, 10, 12])
+        assert len(rows) == 3
+        for row in rows:
+            assert row["8"] <= row["10"] <= row["12"]
+
+
+class TestFigure5And6:
+    def test_weak_scaling_shape(self):
+        results = figure5_weak_scaling(
+            families=("ghz", "qft"),
+            gpu_counts=(1, 4),
+            local_qubits=10,
+            pruning_threshold=8,
+        )
+        assert set(results) == {"ghz", "qft"}
+        for rows in results.values():
+            assert [r["gpus"] for r in rows] == [1, 4]
+            for row in rows:
+                assert row["atlas"] > 0
+                assert row["hyquas"] > 0
+                assert row["speedup_vs_best_baseline"] > 0
+
+    def test_breakdown_rows(self):
+        rows = figure6_breakdown(
+            families=("ghz", "qft"), gpu_counts=(1, 4), local_qubits=10,
+            pruning_threshold=8,
+        )
+        assert len(rows) == 2
+        # Single-GPU runs have no inter-GPU communication.
+        assert rows[0]["comm_fraction"] == pytest.approx(0.0, abs=1e-9)
+        assert 0.0 <= rows[1]["comm_fraction"] <= 1.0
+
+
+class TestFigure7And8:
+    def test_offloading_speedup_positive(self):
+        rows = figure7_offloading(qubit_range=(12, 14), local_qubits=12,
+                                  pruning_threshold=8)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["atlas_s"] > 0
+            assert row["qdao_s"] > 0
+        # Once the state outgrows the GPU, Atlas should win clearly.
+        assert rows[-1]["speedup"] > 1.0
+
+    def test_offload_scaling_atlas_improves_with_gpus(self):
+        rows = figure8_offload_scaling(num_qubits=14, local_qubits=10,
+                                       gpu_counts=(1, 4), pruning_threshold=8)
+        assert rows[0]["gpus"] == 1 and rows[1]["gpus"] == 4
+        assert rows[1]["atlas_s"] <= rows[0]["atlas_s"] * 1.05
+        assert rows[1]["qdao_s"] == pytest.approx(rows[0]["qdao_s"], rel=0.01)
+
+
+class TestFigure9:
+    def test_atlas_never_worse_than_snuqs(self):
+        rows = figure9_staging(
+            num_qubits=10,
+            local_qubit_range=[6, 8],
+            families=("qft", "ising", "wstate"),
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["atlas_geomean_stages"] <= row["snuqs_geomean_stages"] + 1e-9
+
+
+class TestKernelizationFigures:
+    def test_figure10_relative_cost_below_one(self):
+        rows = figure10_kernelization(families=("qft", "ghz"), qubit_range=(10, 12),
+                                      pruning_threshold=16)
+        by_name = {r["circuit"]: r["relative_cost"] for r in rows}
+        assert by_name["qft"] < 1.0
+        assert by_name["geomean"] <= 1.0
+
+    def test_figure13_threshold_sweep(self):
+        rows = figure13_pruning_threshold(thresholds=(4, 32), families=("qft",),
+                                          num_qubits=10)
+        assert rows[-1]["threshold"] == "naive"
+        numeric = [r for r in rows if isinstance(r["threshold"], int)]
+        assert numeric[1]["relative_cost"] <= numeric[0]["relative_cost"] + 1e-9
+        assert all(r["preprocessing_s"] >= 0 for r in rows)
+
+    def test_figure14_24_per_circuit(self):
+        rows = figure14_24_per_circuit_cost("qft", qubit_range=(10, 12),
+                                            pruning_threshold=16)
+        for row in rows:
+            assert row["atlas"] <= row["atlas_naive"] * 1.01
+            assert row["atlas"] <= row["greedy"] * 1.01
+
+    def test_figure25_hhl_case_study(self):
+        rows = figure25_hhl_case_study(hhl_sizes=(4, 5), pruning_threshold=8)
+        assert [r["qubits"] for r in rows] == [4, 5]
+        assert rows[1]["gates"] > rows[0]["gates"]
+        for row in rows:
+            assert row["atlas"] <= row["greedy"] * 1.01
+
+    def test_figure26_36_preprocessing(self):
+        rows = figure26_36_preprocessing_time("ghz", qubit_range=(10, 12),
+                                              pruning_threshold=8)
+        for row in rows:
+            assert row["atlas_s"] > 0
+            assert row["atlas_naive_s"] > 0
+            assert row["greedy_s"] > 0

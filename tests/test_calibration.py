@@ -1,0 +1,55 @@
+"""Tests for the cost-model calibration harness (repro.analysis.calibration)."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationResult,
+    calibrate_cost_model,
+    measure_fusion_times,
+    measure_gate_times,
+)
+from repro.circuits.library import qft
+from repro.core import kernelize, greedy_kernelize
+
+
+class TestMeasurements:
+    def test_fusion_times_positive_and_cover_widths(self):
+        timings = measure_fusion_times(state_qubits=10, widths=range(1, 5), repeats=1)
+        assert set(timings) == {1, 2, 3, 4}
+        assert all(t > 0 for t in timings.values())
+
+    def test_gate_times_cover_defaults(self):
+        timings = measure_gate_times(state_qubits=10, repeats=1)
+        assert {"h", "rz", "cx"} <= set(timings)
+        assert all(t > 0 for t in timings.values())
+
+
+class TestCalibratedModel:
+    @pytest.fixture(scope="class")
+    def calibration(self) -> CalibrationResult:
+        return calibrate_cost_model(state_qubits=10, max_fusion_qubits=6, repeats=1)
+
+    def test_result_structure(self, calibration):
+        assert calibration.cost_model is not None
+        assert calibration.state_qubits == 10
+        rows = calibration.summary()
+        assert any(r["quantity"].startswith("fusion width") for r in rows)
+        assert any(r["quantity"] == "shm load" for r in rows)
+
+    def test_model_normalisation(self, calibration):
+        cm = calibration.cost_model
+        assert cm.fusion_cost(1) == pytest.approx(1.0)
+        assert cm.shm_load_cost == pytest.approx(1.0)
+        assert cm.max_fusion_qubits == 6
+
+    def test_model_usable_by_kernelizers(self, calibration):
+        cm = calibration.cost_model
+        circuit = qft(10)
+        atlas = kernelize(circuit, cm)
+        greedy = greedy_kernelize(circuit, cm)
+        assert atlas.num_gates == len(circuit)
+        assert atlas.total_cost <= greedy.total_cost * 1.05
+
+    def test_best_fusion_width_reasonable(self, calibration):
+        width = calibration.cost_model.best_fusion_width()
+        assert 1 <= width <= 6

@@ -1,0 +1,149 @@
+"""Unit tests for the circuit IR (repro.circuits.circuit)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, make_gate
+from repro.sim import simulate_reference
+
+
+class TestBuilder:
+    def test_empty_circuit(self):
+        c = Circuit(3)
+        assert len(c) == 0
+        assert c.depth() == 0
+        assert c.num_qubits == 3
+
+    def test_invalid_qubit_count(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_append_validates_qubit_range(self):
+        c = Circuit(2)
+        with pytest.raises(ValueError, match="outside range"):
+            c.add("h", [2])
+
+    def test_builder_methods_chain(self):
+        c = Circuit(3).h(0).cx(0, 1).rz(0.5, 2).ccx(0, 1, 2)
+        assert len(c) == 4
+        assert c[0].name == "h"
+        assert c[3].name == "ccx"
+
+    def test_cx_builder_order(self):
+        # cx(control, target) stores (target, control) internally.
+        c = Circuit(2).cx(0, 1)
+        gate = c[0]
+        assert gate.target_qubits == (1,)
+        assert gate.control_qubits == (0,)
+
+    def test_getitem_slice_returns_circuit(self):
+        c = Circuit(2).h(0).h(1).cx(0, 1)
+        sub = c[:2]
+        assert isinstance(sub, Circuit)
+        assert len(sub) == 2
+
+    def test_iteration_and_equality(self):
+        c1 = Circuit(2).h(0).cx(0, 1)
+        c2 = Circuit(2).h(0).cx(0, 1)
+        assert c1 == c2
+        assert list(c1) == list(c2)
+
+    def test_copy_is_independent(self):
+        c = Circuit(2).h(0)
+        d = c.copy()
+        d.x(1)
+        assert len(c) == 1
+        assert len(d) == 2
+
+
+class TestStructure:
+    def test_depth_parallel_gates(self):
+        c = Circuit(4).h(0).h(1).h(2).h(3)
+        assert c.depth() == 1
+
+    def test_depth_serial_gates(self):
+        c = Circuit(2).h(0).cx(0, 1).h(1).cx(1, 0)
+        assert c.depth() == 4
+
+    def test_qubits_used(self):
+        c = Circuit(5).h(0).cx(2, 3)
+        assert c.qubits_used() == {0, 2, 3}
+
+    def test_stats(self):
+        c = Circuit(3).h(0).cx(0, 1).ccx(0, 1, 2)
+        s = c.stats()
+        assert s.num_gates == 3
+        assert s.num_two_qubit_gates == 1
+        assert s.num_multi_qubit_gates == 2
+        assert s.num_qubits == 3
+        assert s.as_dict()["depth"] == c.depth()
+
+    def test_dependency_edges_adjacent_pairs(self):
+        c = Circuit(3).h(0).cx(0, 1).h(2).cx(1, 2)
+        edges = c.dependency_edges()
+        assert (0, 1) in edges  # h(0) -> cx(0,1)
+        assert (1, 3) in edges  # cx(0,1) -> cx(1,2) via qubit 1
+        assert (2, 3) in edges  # h(2) -> cx(1,2)
+        assert (0, 3) not in edges  # not adjacent
+
+    def test_dependency_graph_is_dag(self):
+        import networkx as nx
+
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2).h(0)
+        dag = c.dependency_graph()
+        assert nx.is_directed_acyclic_graph(dag)
+        assert dag.number_of_nodes() == 4
+
+    def test_topological_equivalence_identity(self):
+        c = Circuit(3).h(0).cx(0, 1).h(2)
+        assert c.is_topologically_equivalent([0, 1, 2])
+
+    def test_topological_equivalence_commuting_swap(self):
+        c = Circuit(3).h(0).h(2).cx(0, 1)
+        # h(2) commutes with everything on qubits 0/1.
+        assert c.is_topologically_equivalent([1, 0, 2])
+
+    def test_topological_equivalence_violation(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        assert not c.is_topologically_equivalent([1, 0])
+
+    def test_topological_equivalence_requires_permutation(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        assert not c.is_topologically_equivalent([0, 0])
+
+
+class TestTransformations:
+    def test_remap_qubits(self):
+        c = Circuit(3).h(0).cx(0, 2)
+        mapped = c.remap_qubits({0: 2, 1: 1, 2: 0})
+        assert mapped[0].qubits == (2,)
+        assert set(mapped[1].qubits) == {0, 2}
+
+    def test_inverse_undoes_circuit(self):
+        c = Circuit(3)
+        c.h(0).t(1).cx(0, 1).rz(0.3, 2).swap(1, 2).cry(0.7, 0, 2).s(0)
+        full = c.compose(c.inverse())
+        state = simulate_reference(full)
+        expected = np.zeros(8)
+        expected[0] = 1.0
+        assert np.allclose(np.abs(state.data), expected, atol=1e-9)
+
+    def test_inverse_of_u3(self):
+        c = Circuit(1).u3(0.3, 0.4, 0.5, 0)
+        state = simulate_reference(c.compose(c.inverse()))
+        assert abs(state.amplitude(0)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_compose_requires_matching_size(self):
+        with pytest.raises(ValueError):
+            Circuit(2).compose(Circuit(3))
+
+    def test_subcircuit_selects_gates(self):
+        c = Circuit(2).h(0).x(1).cx(0, 1)
+        sub = c.subcircuit([0, 2])
+        assert len(sub) == 2
+        assert sub[0].name == "h"
+        assert sub[1].name == "cx"
+
+    def test_append_returns_self_for_chaining(self):
+        c = Circuit(1)
+        assert c.append(make_gate("h", [0])) is c

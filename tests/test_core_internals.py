@@ -1,0 +1,199 @@
+"""Focused tests of core-module internals not covered by the end-to-end suites."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.library import ising, qft
+from repro.cluster import CostModel, MachineConfig
+from repro.core import (
+    ExecutionPlan,
+    KernelSequence,
+    KernelizeConfig,
+    QubitPartition,
+    Stage,
+    partition,
+)
+from repro.core.kernel import Kernel, KernelType
+from repro.core.stage import _ilp_dependencies, _ilp_gates, build_staging_ilp
+from repro.ilp import solve
+
+
+class TestIlpGateReduction:
+    def test_fully_insular_gates_dropped(self):
+        circuit = Circuit(4).h(0).cz(0, 1).cp(0.3, 1, 2).rz(0.2, 3).cx(2, 3)
+        gates = _ilp_gates(circuit)
+        # Only h(0) and cx(2,3) have non-insular qubits.
+        assert [g.original_index for g in gates] == [0, 4]
+        assert gates[0].non_insular == (0,)
+        assert gates[1].non_insular == (3,)
+
+    def test_dependency_projection_through_insular_gates(self):
+        # h(0) -> cz(0,1) -> h(1): the two h gates must be ordered even though
+        # the cz connecting them never appears in the ILP.
+        circuit = Circuit(2).h(0).cz(0, 1).h(1)
+        gates = _ilp_gates(circuit)
+        deps = _ilp_dependencies(circuit, gates)
+        assert (0, 1) in deps
+
+    def test_direct_dependencies_still_present(self):
+        circuit = Circuit(2).h(0).cx(0, 1).h(1)
+        gates = _ilp_gates(circuit)
+        deps = _ilp_dependencies(circuit, gates)
+        assert (0, 1) in deps and (1, 2) in deps
+
+    def test_independent_gates_have_no_edge(self):
+        circuit = Circuit(4).h(0).h(1).cz(2, 3)
+        gates = _ilp_gates(circuit)
+        assert _ilp_dependencies(circuit, gates) == []
+
+    def test_long_insular_chain_projection(self):
+        circuit = Circuit(4).h(0)
+        circuit.cz(0, 1).cz(1, 2).cz(2, 3)
+        circuit.h(3)
+        gates = _ilp_gates(circuit)
+        deps = _ilp_dependencies(circuit, gates)
+        assert (0, 1) in deps  # h(0) reaches h(3) through the cz chain
+
+
+class TestStagingModelStructure:
+    def test_variable_and_constraint_counts(self):
+        circuit = qft(5)
+        s, local, regional, global_ = 2, 3, 1, 1
+        model, variables = build_staging_ilp(circuit, s, local, regional, global_)
+        n = circuit.num_qubits
+        num_ilp_gates = len(variables["gates"])
+        expected_vars = 2 * n * s + num_ilp_gates * s + 2 * n * (s - 1)
+        assert model.num_variables == expected_vars
+        # Feasibility: the model should be solvable for two stages.
+        assert solve(model).status.is_feasible
+
+    def test_objective_counts_transitions_only(self):
+        circuit = qft(5)
+        model, variables = build_staging_ilp(circuit, 1, 5, 0, 0)
+        # With a single stage there are no transition variables to pay for.
+        assert model.objective.coeffs == {}
+
+    def test_inter_node_cost_factor_scales_objective(self):
+        circuit = ising(6)
+        model, variables = build_staging_ilp(circuit, 2, 4, 1, 1, inter_node_cost_factor=7.0)
+        t_indices = {v.index for row in variables["T"] for v in row}
+        coeffs = {model.objective.coeffs.get(i) for i in t_indices}
+        assert coeffs == {7.0}
+
+
+class TestPlanDataTypes:
+    def _tiny_plan(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cz(1, 2)
+        machine = MachineConfig.for_circuit(3, num_gpus=1, local_qubits=3)
+        plan, report = partition(circuit, machine,
+                                 kernelize_config=KernelizeConfig(pruning_threshold=4))
+        return circuit, plan, report
+
+    def test_plan_summary_fields(self):
+        circuit, plan, report = self._tiny_plan()
+        summary = plan.summary()
+        assert summary["num_stages"] == plan.num_stages
+        assert summary["gates_per_stage"] == [s.num_gates for s in plan.stages]
+        assert plan.gate_count() == len(circuit)
+        assert len(plan.all_gates()) == len(circuit)
+
+    def test_partition_report_fields(self):
+        _, plan, report = self._tiny_plan()
+        assert report.num_stages == plan.num_stages
+        assert report.num_kernels == plan.num_kernels
+        assert report.preprocessing_seconds == pytest.approx(
+            report.staging_seconds + report.kernelization_seconds
+        )
+
+    def test_plan_validate_detects_missing_gates(self):
+        circuit, plan, _ = self._tiny_plan()
+        plan.stages[0].gates.pop()
+        plan.stages[0].gate_indices.pop()
+        with pytest.raises(ValueError):
+            plan.validate(circuit)
+
+    def test_plan_validate_detects_duplicate_gates(self):
+        circuit, plan, _ = self._tiny_plan()
+        plan.stages[0].gates.append(circuit[0])
+        plan.stages[0].gate_indices.append(0)
+        with pytest.raises(ValueError):
+            plan.validate(circuit)
+
+    def test_stage_subcircuit_and_cost(self):
+        circuit, plan, _ = self._tiny_plan()
+        stage = plan.stages[0]
+        sub = stage.subcircuit(circuit.num_qubits)
+        assert len(sub) == stage.num_gates
+        assert stage.kernel_cost() == pytest.approx(stage.kernels.total_cost)
+
+    def test_kernel_sequence_empty(self):
+        ks = KernelSequence(kernels=[])
+        assert ks.total_cost == 0.0
+        assert ks.num_gates == 0
+        assert ks.widths() == []
+
+    def test_kernel_dataclass_direct_construction(self):
+        gates = tuple(Circuit(2).h(0).cx(0, 1).gates)
+        kernel = Kernel(gates=gates, qubits=(0, 1), kernel_type=KernelType.SHM,
+                        cost=1.5, gate_indices=(0, 1))
+        assert kernel.num_qubits == 2
+        assert kernel.num_gates == 2
+
+
+class TestPartitionConfiguration:
+    def test_unknown_stager_and_kernelizer(self):
+        circuit = Circuit(3).h(0)
+        machine = MachineConfig.for_circuit(3, num_gpus=1, local_qubits=3)
+        with pytest.raises(ValueError, match="unknown stager"):
+            partition(circuit, machine, stager="magic")
+        with pytest.raises(ValueError, match="unknown kernelizer"):
+            partition(circuit, machine, kernelizer="magic")
+
+    def test_machine_circuit_mismatch(self):
+        circuit = Circuit(4).h(0)
+        machine = MachineConfig.for_circuit(3, num_gpus=1, local_qubits=3)
+        with pytest.raises(ValueError):
+            partition(circuit, machine)
+
+    def test_custom_cost_model_flows_through(self):
+        # A cost model that makes wide fusion kernels free should produce
+        # fewer, wider kernels than the default model.
+        circuit = qft(8)
+        machine = MachineConfig.for_circuit(8, num_gpus=1, local_qubits=8)
+        cheap_wide = CostModel(
+            fusion_cost_per_qubits={k: 1.0 for k in range(0, 11)},
+            max_fusion_qubits=10,
+        )
+        plan_default, _ = partition(circuit, machine,
+                                    kernelize_config=KernelizeConfig(pruning_threshold=8))
+        plan_cheap, _ = partition(circuit, machine, cost_model=cheap_wide,
+                                  kernelize_config=KernelizeConfig(pruning_threshold=8))
+        assert plan_cheap.num_kernels <= plan_default.num_kernels
+
+    def test_snuqs_stager_with_greedy_kernelizer(self):
+        circuit = ising(9)
+        machine = MachineConfig.for_circuit(9, num_gpus=4, local_qubits=6)
+        plan, report = partition(circuit, machine, stager="snuqs", kernelizer="greedy")
+        assert plan.num_stages >= 1
+        assert report.communication_cost >= 0.0
+        plan.validate(circuit)
+
+
+class TestQubitPartitionEdgeCases:
+    def test_empty_regional_and_global(self):
+        p = QubitPartition.from_sets({0, 1, 2}, set(), set())
+        assert p.num_qubits == 3
+        assert p.logical_to_physical() == {0: 0, 1: 1, 2: 2}
+
+    def test_stage_without_kernels_costs_zero(self):
+        stage = Stage(gates=[], partition=QubitPartition.from_sets({0}, set(), set()))
+        assert stage.kernel_cost() == 0.0
+        assert stage.validate_locality()
+
+    def test_execution_plan_counts_without_kernels(self):
+        stage = Stage(gates=list(Circuit(2).h(0).gates),
+                      partition=QubitPartition.from_sets({0, 1}, set(), set()),
+                      gate_indices=[0])
+        plan = ExecutionPlan(num_qubits=2, stages=[stage])
+        assert plan.num_kernels == 0
+        assert plan.total_kernel_cost == 0.0

@@ -1,0 +1,199 @@
+"""Tests for the ILP modelling layer and both solver backends."""
+
+import pytest
+
+from repro.ilp import (
+    ConstraintSense,
+    IlpModel,
+    LinExpr,
+    SolveStatus,
+    lin_sum,
+    solve,
+    solve_with_branch_and_bound,
+    solve_with_scipy,
+)
+
+
+class TestExpressionAlgebra:
+    def test_variable_arithmetic(self):
+        m = IlpModel()
+        x = m.binary_var("x")
+        y = m.binary_var("y")
+        expr = 2 * x + y - 1
+        assert expr.coeffs == {x.index: 2.0, y.index: 1.0}
+        assert expr.constant == -1.0
+
+    def test_negation_and_rsub(self):
+        m = IlpModel()
+        x = m.binary_var("x")
+        expr = 3 - x
+        assert expr.coeffs[x.index] == -1.0
+        assert expr.constant == 3.0
+        assert (-x).coeffs[x.index] == -1.0
+
+    def test_lin_sum(self):
+        m = IlpModel()
+        xs = [m.binary_var(f"x{i}") for i in range(4)]
+        expr = lin_sum(xs)
+        assert all(expr.coeffs[x.index] == 1.0 for x in xs)
+
+    def test_scaling_expression(self):
+        m = IlpModel()
+        x = m.binary_var("x")
+        expr = (x + 2) * 3
+        assert expr.coeffs[x.index] == 3.0
+        assert expr.constant == 6.0
+        with pytest.raises(TypeError):
+            (x + 2) * (x + 1)
+
+    def test_constraint_senses(self):
+        m = IlpModel()
+        x = m.binary_var("x")
+        le = x <= 1
+        ge = x >= 1
+        eq = LinExpr.from_term(x).eq(1)
+        assert le.sense is ConstraintSense.LE
+        assert ge.sense is ConstraintSense.GE
+        assert eq.sense is ConstraintSense.EQ
+
+    def test_constraint_satisfaction(self):
+        m = IlpModel()
+        x = m.binary_var("x")
+        y = m.binary_var("y")
+        con = (x + y) <= 1
+        assert con.is_satisfied({x.index: 1, y.index: 0})
+        assert not con.is_satisfied({x.index: 1, y.index: 1})
+
+    def test_evaluate(self):
+        m = IlpModel()
+        x = m.binary_var("x")
+        expr = 2 * x + 5
+        assert expr.evaluate({x.index: 1}) == 7.0
+        assert expr.evaluate({}) == 5.0
+
+    def test_check_solution_integrality(self):
+        m = IlpModel()
+        x = m.binary_var("x")
+        m.add_constraint(x <= 1)
+        assert m.check_solution({x.index: 1.0})
+        assert not m.check_solution({x.index: 0.5})
+        assert not m.check_solution({x.index: 2.0})
+
+
+def _knapsack_model():
+    """max 5a+4b+3c s.t. 2a+3b+c <= 4  (as a minimisation of the negative)."""
+    m = IlpModel("knapsack")
+    a, b, c = m.binary_var("a"), m.binary_var("b"), m.binary_var("c")
+    m.add_constraint(2 * a + 3 * b + 1 * c <= 4)
+    m.minimize(-5 * a - 4 * b - 3 * c)
+    return m, (a, b, c)
+
+
+def _assignment_model():
+    """Assign 2 tasks to 2 workers, each exactly once, minimising cost."""
+    m = IlpModel("assign")
+    cost = [[4, 1], [2, 3]]
+    x = [[m.binary_var(f"x{i}{j}") for j in range(2)] for i in range(2)]
+    for i in range(2):
+        m.add_eq(lin_sum(x[i]), 1)
+        m.add_eq(lin_sum([x[0][i], x[1][i]]), 1)
+    m.minimize(lin_sum(cost[i][j] * x[i][j] for i in range(2) for j in range(2)))
+    return m, x
+
+
+class TestSolverBackends:
+    @pytest.mark.parametrize("backend", ["scipy", "branch-and-bound"])
+    def test_knapsack_optimum(self, backend):
+        model, (a, b, c) = _knapsack_model()
+        sol = solve(model, backend=backend)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(-8.0)  # take a and c
+        assert sol.int_value(a) == 1
+        assert sol.int_value(b) == 0
+        assert sol.int_value(c) == 1
+
+    @pytest.mark.parametrize("backend", ["scipy", "branch-and-bound"])
+    def test_assignment_optimum(self, backend):
+        model, x = _assignment_model()
+        sol = solve(model, backend=backend)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(3.0)  # x01 + x10
+        assert sol.int_value(x[0][1]) == 1
+        assert sol.int_value(x[1][0]) == 1
+
+    @pytest.mark.parametrize("backend", ["scipy", "branch-and-bound"])
+    def test_infeasible_detected(self, backend):
+        m = IlpModel()
+        x = m.binary_var("x")
+        m.add_constraint(x >= 2)
+        sol = solve(m, backend=backend)
+        assert sol.status is SolveStatus.INFEASIBLE
+        assert not sol.status.is_feasible
+
+    @pytest.mark.parametrize("backend", ["scipy", "branch-and-bound"])
+    def test_equality_constraints(self, backend):
+        m = IlpModel()
+        xs = [m.binary_var(f"x{i}") for i in range(5)]
+        m.add_eq(lin_sum(xs), 3)
+        m.minimize(lin_sum((i + 1) * xs[i] for i in range(5)))
+        sol = solve(m, backend=backend)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sum(sol.int_value(x) for x in xs) == 3
+        assert sol.objective == pytest.approx(1 + 2 + 3)
+
+    def test_backends_agree_on_random_set_cover(self):
+        # Small set-cover instance: both backends must find the same optimum.
+        sets = [(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)]
+        m = IlpModel("cover")
+        xs = [m.binary_var(f"s{i}") for i in range(len(sets))]
+        for element in range(4):
+            covering = [xs[i] for i, s in enumerate(sets) if element in s]
+            m.add_constraint(lin_sum(covering) >= 1)
+        m.minimize(lin_sum(xs))
+        a = solve_with_scipy(m)
+        b = solve_with_branch_and_bound(m)
+        assert a.status is SolveStatus.OPTIMAL
+        assert b.status is SolveStatus.OPTIMAL
+        assert a.objective == pytest.approx(b.objective)
+        assert a.objective == pytest.approx(2.0)
+
+    def test_integer_variables(self):
+        m = IlpModel()
+        x = m.integer_var("x", 0, 10)
+        m.add_constraint(2 * x >= 7)
+        m.minimize(x)
+        sol = solve_with_scipy(m)
+        assert sol.int_value(x) == 4
+
+    def test_continuous_variables_allowed(self):
+        m = IlpModel()
+        x = m.continuous_var("x", 0, 10)
+        m.add_constraint(x >= 2.5)
+        m.minimize(x)
+        sol = solve_with_scipy(m)
+        assert sol.value(x) == pytest.approx(2.5)
+
+    def test_unknown_backend_raises(self):
+        m, _ = _knapsack_model()
+        with pytest.raises(ValueError, match="unknown ILP backend"):
+            solve(m, backend="cplex")
+
+    def test_solution_check_against_model(self):
+        model, _ = _assignment_model()
+        sol = solve_with_scipy(model)
+        assert model.check_solution(sol.values)
+
+    def test_branch_and_bound_respects_node_limit(self):
+        # A slightly larger model with a tiny node budget still terminates.
+        m = IlpModel()
+        xs = [m.binary_var(f"x{i}") for i in range(12)]
+        m.add_constraint(lin_sum((i % 3 + 1) * xs[i] for i in range(12)) <= 7)
+        m.minimize(lin_sum(-1 * x for x in xs))
+        sol = solve_with_branch_and_bound(m, max_nodes=5)
+        assert sol.status in (SolveStatus.OPTIMAL, SolveStatus.TIME_LIMIT, SolveStatus.INFEASIBLE)
+
+    def test_model_repr_and_counts(self):
+        model, _ = _knapsack_model()
+        assert model.num_variables == 3
+        assert model.num_constraints == 1
+        assert "knapsack" in repr(model)

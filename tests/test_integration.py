@@ -1,0 +1,111 @@
+"""End-to-end integration tests across the full pipeline.
+
+These tests exercise the exact code paths the benchmark harness uses —
+circuit library → ILP staging → DP kernelization → staged execution /
+DRAM offload → timing model — and validate numerical results against the
+reference simulator at sizes small enough to materialise.
+"""
+
+import pytest
+
+from repro import KernelizeConfig, MachineConfig, simulate
+from repro.baselines import AtlasSimulator, HyQuasSimulator
+from repro.circuits.library import PAPER_FAMILIES, get_circuit, hhl
+from repro.core import partition
+from repro.runtime import execute_plan, execute_plan_offloaded, model_simulation_time
+from repro.sim import simulate_reference
+
+FAST_CONFIG = KernelizeConfig(pruning_threshold=8)
+
+
+class TestAllFamiliesEndToEnd:
+    @pytest.mark.parametrize("family", PAPER_FAMILIES)
+    def test_family_on_four_gpu_machine(self, family):
+        num_qubits = 10
+        circuit = get_circuit(family, num_qubits)
+        machine = MachineConfig.for_circuit(num_qubits, num_gpus=4, local_qubits=7)
+        result = simulate(circuit, machine, kernelize_config=FAST_CONFIG)
+        assert simulate_reference(circuit).allclose(result.state)
+        result.plan.validate(circuit)
+        assert result.timing.total_seconds > 0
+
+    @pytest.mark.parametrize("family", ["qft", "ising", "su2random"])
+    def test_family_on_multi_node_machine(self, family):
+        # 2 nodes x 2 GPUs: exercises regional *and* global qubits.
+        num_qubits = 11
+        circuit = get_circuit(family, num_qubits)
+        machine = MachineConfig.for_circuit(
+            num_qubits, num_gpus=4, local_qubits=9, gpus_per_node=2
+        )
+        assert machine.global_qubits == 1 and machine.regional_qubits == 1
+        plan, report = partition(circuit, machine, kernelize_config=FAST_CONFIG)
+        out, _ = execute_plan(plan, machine=machine)
+        assert simulate_reference(circuit).allclose(out)
+        assert report.num_stages == plan.num_stages
+
+    def test_hhl_case_study_end_to_end(self):
+        circuit = hhl(7)
+        machine = MachineConfig.for_circuit(7, num_gpus=1, local_qubits=7)
+        result = simulate(circuit, machine, kernelize_config=FAST_CONFIG)
+        assert simulate_reference(circuit).allclose(result.state)
+        assert result.plan.num_stages == 1
+
+
+class TestOffloadConsistency:
+    @pytest.mark.parametrize("family", ["qft", "ising", "wstate", "qsvm"])
+    def test_offload_matches_in_memory_execution(self, family):
+        num_qubits = 11
+        circuit = get_circuit(family, num_qubits)
+        # Tiny "GPU": 2^7 amplitudes; 16 shards stream through it.
+        machine = MachineConfig.for_circuit(num_qubits, num_gpus=1, local_qubits=7)
+        plan, _ = partition(circuit, machine, kernelize_config=FAST_CONFIG)
+        in_memory, _ = execute_plan(plan, machine=machine)
+        offloaded, stats = execute_plan_offloaded(plan, machine)
+        assert in_memory.allclose(offloaded)
+        assert stats.shard_loads >= plan.num_stages * stats.num_shards
+
+    def test_offload_timing_reports_pcie_component(self):
+        num_qubits = 12
+        circuit = get_circuit("qft", num_qubits)
+        machine = MachineConfig.for_circuit(
+            num_qubits, num_gpus=1, local_qubits=8,
+            gpu_memory_bytes=(1 << 8) * 16,
+        )
+        plan, _ = partition(circuit, machine, kernelize_config=FAST_CONFIG)
+        timing = model_simulation_time(plan, machine)
+        assert timing.offload_seconds > 0
+        assert timing.total_seconds > timing.computation_seconds
+
+
+class TestWeakScalingShape:
+    def test_atlas_speedup_over_baselines_grows_with_gpus(self):
+        """The qualitative Figure 5 claim at reduced scale.
+
+        As the machine grows from 1 GPU to 16 GPUs (weak scaling), Atlas's
+        advantage over the greedy-staged baseline should not shrink, because
+        the ILP keeps the number of all-to-all exchanges minimal.
+        """
+        local = 10
+        speedups = []
+        for gpus in (1, 16):
+            non_local = gpus.bit_length() - 1
+            n = local + non_local
+            circuit = get_circuit("ising", n)
+            machine = MachineConfig.for_circuit(n, num_gpus=gpus, local_qubits=local)
+            atlas = AtlasSimulator(pruning_threshold=8).model_time(circuit, machine)
+            hyquas = HyQuasSimulator().model_time(circuit, machine)
+            speedups.append(hyquas.total_seconds / atlas.total_seconds)
+        assert speedups[-1] >= speedups[0] * 0.8
+        assert speedups[-1] >= 1.0
+
+    def test_more_gpus_do_not_slow_down_atlas(self):
+        # Strong-ish scaling sanity: same circuit, more GPUs → no slower.
+        n = 12
+        circuit = get_circuit("qft", n)
+        t_prev = None
+        for gpus in (1, 4):
+            machine = MachineConfig.for_circuit(n, num_gpus=gpus, local_qubits=n - 2 if gpus > 1 else n)
+            timing = AtlasSimulator(pruning_threshold=8).model_time(circuit, machine)
+            if t_prev is not None:
+                assert timing.computation_seconds <= t_prev.computation_seconds * 1.5
+            t_prev = timing

@@ -1,0 +1,215 @@
+"""Tests for the benchmark circuit library (Table I families + hhl)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import (
+    CIRCUIT_FAMILIES,
+    PAPER_FAMILIES,
+    ae,
+    brickwork_circuit,
+    dj,
+    get_circuit,
+    ghz,
+    graphstate,
+    hhl,
+    hhl_padded,
+    inverse_qft,
+    ising,
+    qft,
+    qpeexact,
+    qsvm,
+    random_circuit,
+    su2random,
+    vqc,
+    wstate,
+)
+from repro.sim import simulate_reference
+
+
+class TestRegistry:
+    def test_paper_families_present(self):
+        assert len(PAPER_FAMILIES) == 11
+        for family in PAPER_FAMILIES:
+            assert family in CIRCUIT_FAMILIES
+
+    def test_get_circuit(self):
+        c = get_circuit("ghz", 12)
+        assert c.num_qubits == 12
+
+    def test_get_circuit_unknown(self):
+        with pytest.raises(ValueError, match="unknown circuit family"):
+            get_circuit("nope", 10)
+
+    @pytest.mark.parametrize("family", PAPER_FAMILIES)
+    def test_families_scale_with_qubits(self, family):
+        small = get_circuit(family, 10)
+        large = get_circuit(family, 14)
+        assert large.num_qubits == 14
+        assert len(large) >= len(small)
+
+    @pytest.mark.parametrize("family", PAPER_FAMILIES)
+    def test_families_are_deterministic(self, family):
+        a = get_circuit(family, 12)
+        b = get_circuit(family, 12)
+        assert a == b
+
+
+class TestGateCounts:
+    """Gate-count formulas match the constructions documented in DESIGN.md."""
+
+    def test_ghz_count(self):
+        assert len(ghz(28)) == 28
+
+    def test_graphstate_count(self):
+        assert len(graphstate(28)) == 56
+
+    def test_dj_count(self):
+        assert len(dj(28)) == 3 * 28 - 2 + 1  # x + h(anc) + n-1 h + n-1 cx + n-1 h
+
+    def test_wstate_count(self):
+        assert len(wstate(28)) == 4 * 27 + 1
+
+    def test_qft_count_matches_paper(self):
+        # Table I: 406 gates at 28 qubits.
+        assert len(qft(28)) == 28 * 29 // 2 == 406
+
+    def test_qsvm_count_matches_paper(self):
+        # Table I: 274 gates at 28 qubits.
+        assert len(qsvm(28)) == 274
+
+    def test_qpeexact_count_close_to_paper(self):
+        assert abs(len(qpeexact(28)) - 432) <= 5
+
+    def test_su2random_scales_quadratically(self):
+        assert len(su2random(20)) > len(su2random(10)) * 2
+
+    def test_hhl_counts_grow_superlinearly(self):
+        counts = [len(hhl(n)) for n in (4, 6, 8, 10)]
+        assert counts == sorted(counts)
+        # Roughly exponential growth in the clock register size.
+        assert counts[-1] > 10 * counts[0]
+
+
+class TestCorrectness:
+    def test_ghz_state(self):
+        state = simulate_reference(ghz(4))
+        probs = state.probabilities()
+        assert probs[0] == pytest.approx(0.5, abs=1e-9)
+        assert probs[-1] == pytest.approx(0.5, abs=1e-9)
+        assert np.sum(probs) == pytest.approx(1.0)
+
+    def test_wstate_probabilities(self):
+        n = 5
+        state = simulate_reference(wstate(n))
+        probs = state.probabilities()
+        one_hot = [1 << k for k in range(n)]
+        for idx in one_hot:
+            assert probs[idx] == pytest.approx(1.0 / n, abs=1e-9)
+        assert sum(probs[i] for i in one_hot) == pytest.approx(1.0, abs=1e-9)
+
+    def test_qft_of_zero_state_is_uniform(self):
+        state = simulate_reference(qft(5))
+        assert np.allclose(np.abs(state.data), 1 / math.sqrt(32), atol=1e-9)
+
+    def test_qft_inverse_qft_is_identity(self):
+        circuit = qft(5).compose(inverse_qft(5))
+        state = simulate_reference(circuit)
+        assert abs(state.amplitude(0)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_qpeexact_is_exact(self):
+        for n in (4, 5, 6):
+            state = simulate_reference(qpeexact(n))
+            marginal = state.marginal_probabilities(list(range(n - 1)))
+            assert np.max(marginal) == pytest.approx(1.0, abs=1e-6)
+
+    def test_dj_balanced_oracle_never_returns_zero(self):
+        # For a balanced oracle the all-zeros outcome on the input register
+        # has probability 0.
+        n = 5
+        state = simulate_reference(dj(n))
+        marginal = state.marginal_probabilities(list(range(n - 1)))
+        assert marginal[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_graphstate_is_stabilizer_uniform(self):
+        state = simulate_reference(graphstate(4))
+        # Graph states have uniform amplitude magnitudes.
+        assert np.allclose(np.abs(state.data), 0.25, atol=1e-9)
+
+    def test_all_families_produce_normalized_states(self):
+        for family in PAPER_FAMILIES:
+            circuit = get_circuit(family, 8)
+            state = simulate_reference(circuit)
+            assert state.is_normalized(), family
+
+    def test_hhl_is_normalized(self):
+        state = simulate_reference(hhl(5))
+        assert state.is_normalized()
+
+    def test_ae_is_normalized_and_entangled(self):
+        state = simulate_reference(ae(6))
+        assert state.is_normalized()
+
+    def test_ising_and_vqc_normalized(self):
+        assert simulate_reference(ising(7)).is_normalized()
+        assert simulate_reference(vqc(6)).is_normalized()
+
+
+class TestParameterValidation:
+    def test_minimum_sizes(self):
+        with pytest.raises(ValueError):
+            ghz(0)
+        with pytest.raises(ValueError):
+            dj(1)
+        with pytest.raises(ValueError):
+            wstate(1)
+        with pytest.raises(ValueError):
+            graphstate(2)
+        with pytest.raises(ValueError):
+            hhl(3)
+
+    def test_ae_probability_bounds(self):
+        with pytest.raises(ValueError):
+            ae(6, probability=1.5)
+
+    def test_su2random_entanglement_option(self):
+        linear = su2random(8, entanglement="linear")
+        full = su2random(8, entanglement="full")
+        assert len(linear) < len(full)
+        with pytest.raises(ValueError):
+            su2random(8, entanglement="ring")
+
+    def test_graphstate_degree_option(self):
+        dense = graphstate(10, degree=4, seed=1)
+        ring = graphstate(10)
+        assert len(dense) > len(ring)
+
+    def test_hhl_padded(self):
+        padded = hhl_padded(5, 12)
+        assert padded.num_qubits == 12
+        assert len(padded) == len(hhl(5))
+        with pytest.raises(ValueError):
+            hhl_padded(6, 4)
+
+
+class TestRandomCircuits:
+    def test_random_circuit_size(self):
+        c = random_circuit(6, 40, seed=2)
+        assert len(c) == 40
+        assert c.num_qubits == 6
+
+    def test_random_circuit_deterministic(self):
+        assert random_circuit(6, 40, seed=2) == random_circuit(6, 40, seed=2)
+        assert random_circuit(6, 40, seed=2) != random_circuit(6, 40, seed=3)
+
+    def test_random_circuit_gate_set_restriction(self):
+        c = random_circuit(5, 30, seed=1, gate_set=("h", "cx"))
+        assert set(g.name for g in c) <= {"h", "cx"}
+
+    def test_brickwork_structure(self):
+        c = brickwork_circuit(6, depth=4, seed=0)
+        names = {g.name for g in c}
+        assert names == {"u3", "cz"}
+        assert simulate_reference(c).is_normalized()

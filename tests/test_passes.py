@@ -1,0 +1,128 @@
+"""Tests for the circuit transformation passes (repro.circuits.passes)."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.library import random_circuit, qft, wstate
+from repro.circuits.passes import (
+    cancel_adjacent_inverses,
+    decompose_gates,
+    merge_single_qubit_runs,
+    optimize,
+)
+from repro.sim import simulate_reference
+
+
+def _equivalent(a: Circuit, b: Circuit) -> bool:
+    return simulate_reference(a).allclose(simulate_reference(b))
+
+
+class TestDecompose:
+    @pytest.mark.parametrize("builder", [
+        lambda c: c.swap(0, 1),
+        lambda c: c.ccx(0, 1, 2),
+        lambda c: c.cswap(0, 1, 2),
+        lambda c: c.rxx(0.7, 0, 2),
+        lambda c: c.ryy(0.4, 1, 2),
+        lambda c: c.add("ccz", [0, 1, 2]),
+    ])
+    def test_single_gate_decompositions_preserve_semantics(self, builder):
+        circuit = Circuit(3)
+        # Prepare a non-trivial input state so controls actually fire.
+        circuit.h(0).h(1).h(2)
+        builder(circuit)
+        decomposed = decompose_gates(circuit)
+        assert _equivalent(circuit, decomposed)
+        names = {g.name for g in decomposed}
+        assert not names & {"swap", "ccx", "cswap", "rxx", "ryy", "ccz"}
+
+    def test_decompose_leaves_basis_gates_alone(self):
+        circuit = Circuit(2).h(0).cx(0, 1).rz(0.3, 1)
+        assert decompose_gates(circuit) == circuit
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_decompose_random_circuits(self, seed):
+        circuit = random_circuit(5, 40, seed=seed)
+        assert _equivalent(circuit, decompose_gates(circuit))
+
+
+class TestCancellation:
+    def test_self_inverse_pairs_removed(self):
+        circuit = Circuit(2).h(0).h(0).cx(0, 1).cx(0, 1).x(1).x(1)
+        out = cancel_adjacent_inverses(circuit)
+        assert len(out) == 0
+
+    def test_rotation_merging(self):
+        circuit = Circuit(1).rz(0.3, 0).rz(0.4, 0)
+        out = cancel_adjacent_inverses(circuit)
+        assert len(out) == 1
+        assert out[0].params[0] == pytest.approx(0.7)
+
+    def test_opposite_rotations_cancel(self):
+        circuit = Circuit(1).rx(0.5, 0).rx(-0.5, 0)
+        out = cancel_adjacent_inverses(circuit)
+        assert len(out) == 0
+
+    def test_non_adjacent_pairs_not_removed(self):
+        circuit = Circuit(2).h(0).cx(0, 1).h(0)
+        out = cancel_adjacent_inverses(circuit)
+        assert len(out) == 3
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cancellation_preserves_semantics(self, seed):
+        circuit = random_circuit(5, 50, seed=seed)
+        assert _equivalent(circuit, cancel_adjacent_inverses(circuit))
+
+
+class TestMergeSingleQubitRuns:
+    def test_run_merged_to_single_u3(self):
+        circuit = Circuit(1).h(0).t(0).s(0).rx(0.3, 0)
+        out = merge_single_qubit_runs(circuit)
+        assert len(out) == 1
+        assert out[0].name == "u3"
+        assert _equivalent(circuit, out)
+
+    def test_runs_bounded_by_two_qubit_gates(self):
+        circuit = Circuit(2).h(0).t(0).cx(0, 1).h(0).s(0)
+        out = merge_single_qubit_runs(circuit)
+        # Two merged u3 runs around the cx.
+        assert sum(1 for g in out if g.name == "u3") == 2
+        assert _equivalent(circuit, out)
+
+    def test_single_gates_left_alone(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        out = merge_single_qubit_runs(circuit)
+        assert out[0].name == "h"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_merge_preserves_semantics(self, seed):
+        circuit = random_circuit(5, 40, seed=seed)
+        assert _equivalent(circuit, merge_single_qubit_runs(circuit))
+
+
+class TestOptimizePipeline:
+    @pytest.mark.parametrize("builder", [qft, wstate])
+    def test_optimize_preserves_semantics_on_families(self, builder):
+        circuit = builder(7)
+        assert _equivalent(circuit, optimize(circuit))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_optimize_preserves_semantics_on_random(self, seed):
+        circuit = random_circuit(6, 60, seed=seed)
+        assert _equivalent(circuit, optimize(circuit))
+
+    def test_optimize_does_not_grow_simple_circuits(self):
+        circuit = Circuit(3).h(0).h(0).rz(0.2, 1).rz(-0.2, 1).cx(1, 2)
+        out = optimize(circuit)
+        assert len(out) <= len(circuit)
+
+    def test_optimized_circuit_still_partitions(self):
+        from repro.cluster import MachineConfig
+        from repro.core import partition
+        from repro.runtime import execute_plan
+
+        circuit = optimize(random_circuit(9, 60, seed=7))
+        machine = MachineConfig.for_circuit(9, num_gpus=4, local_qubits=6)
+        plan, _ = partition(circuit, machine)
+        out, _ = execute_plan(plan, machine=machine)
+        assert simulate_reference(circuit).allclose(out)

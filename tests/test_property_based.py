@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.circuits import Circuit, from_qasm, make_gate, to_qasm
+from repro.circuits.library import random_circuit
+from repro.cluster import CostModel, MachineConfig
+from repro.core import (
+    KernelizeConfig,
+    greedy_kernelize,
+    kernelize,
+    ordered_kernelize,
+    snuqs_stage_circuit,
+    stage_circuit,
+)
+from repro.ilp import IlpModel, lin_sum, solve_with_branch_and_bound, solve_with_scipy
+from repro.runtime import QubitLayout, execute_plan, permute_state
+from repro.sim import StateVector, apply_matrix, simulate_reference
+from repro.circuits.gates import gate_matrix
+
+# Hypothesis settings: these tests build circuits and run simulators, so we
+# keep example counts modest and disable the too-slow health check.
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_ONE_QUBIT_GATES = ["h", "x", "y", "z", "s", "t", "rx", "ry", "rz", "p"]
+_TWO_QUBIT_GATES = ["cx", "cz", "cp", "swap", "rzz", "crz", "cry"]
+_PARAM_COUNT = {"rx": 1, "ry": 1, "rz": 1, "p": 1, "cp": 1, "rzz": 1, "crz": 1, "cry": 1}
+
+
+@st.composite
+def circuits(draw, min_qubits=3, max_qubits=6, max_gates=25):
+    n = draw(st.integers(min_qubits, max_qubits))
+    num_gates = draw(st.integers(1, max_gates))
+    circuit = Circuit(n, name="hypothesis")
+    for _ in range(num_gates):
+        use_two = n >= 2 and draw(st.booleans())
+        name = draw(st.sampled_from(_TWO_QUBIT_GATES if use_two else _ONE_QUBIT_GATES))
+        qubits = draw(
+            st.lists(st.integers(0, n - 1), min_size=2 if use_two else 1,
+                     max_size=2 if use_two else 1, unique=True)
+        )
+        params = [
+            draw(st.floats(0.01, 6.28, allow_nan=False, allow_infinity=False))
+            for _ in range(_PARAM_COUNT.get(name, 0))
+        ]
+        circuit.add(name, qubits, params)
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Simulator invariants
+# ---------------------------------------------------------------------------
+
+
+class TestSimulatorProperties:
+    @given(circuits())
+    @settings(**SETTINGS)
+    def test_simulation_preserves_norm(self, circuit):
+        state = simulate_reference(circuit)
+        assert state.norm() == pytest.approx(1.0, abs=1e-9)
+
+    @given(circuits(), st.integers(0, 2**32 - 1))
+    @settings(**SETTINGS)
+    def test_simulation_is_linear_in_global_phase(self, circuit, seed):
+        init = StateVector.random_state(circuit.num_qubits, seed=seed % 1000)
+        phased = StateVector(circuit.num_qubits, init.data * np.exp(0.321j))
+        a = simulate_reference(circuit, init)
+        b = simulate_reference(circuit, phased)
+        assert a.allclose(b)
+
+    @given(st.integers(1, 5), st.integers(0, 1000))
+    @settings(**SETTINGS)
+    def test_apply_matrix_unitarity(self, num_qubits, seed):
+        rng = np.random.default_rng(seed)
+        state = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+        state /= np.linalg.norm(state)
+        qubit = int(rng.integers(num_qubits))
+        out = apply_matrix(state, gate_matrix("h"), [qubit])
+        assert np.linalg.norm(out) == pytest.approx(1.0, abs=1e-9)
+
+    @given(circuits(max_gates=15))
+    @settings(**SETTINGS)
+    def test_circuit_inverse_property(self, circuit):
+        state = simulate_reference(circuit.compose(circuit.inverse()))
+        assert abs(state.amplitude(0)) == pytest.approx(1.0, abs=1e-7)
+
+
+# ---------------------------------------------------------------------------
+# QASM round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestQasmProperties:
+    @given(circuits(max_gates=20))
+    @settings(**SETTINGS)
+    def test_roundtrip_preserves_state(self, circuit):
+        parsed = from_qasm(to_qasm(circuit))
+        assert len(parsed) == len(circuit)
+        assert simulate_reference(circuit).allclose(simulate_reference(parsed))
+
+
+# ---------------------------------------------------------------------------
+# Partitioning invariants
+# ---------------------------------------------------------------------------
+
+
+class TestKernelizationProperties:
+    @given(circuits(min_qubits=4, max_qubits=7, max_gates=30), st.sampled_from([4, 16]))
+    @settings(**SETTINGS)
+    def test_kernelize_covers_and_respects_dependencies(self, circuit, threshold):
+        ks = kernelize(circuit, config=KernelizeConfig(pruning_threshold=threshold))
+        assert sorted(ks.all_gate_indices()) == list(range(len(circuit)))
+        assert circuit.is_topologically_equivalent(ks.all_gate_indices())
+
+    @given(circuits(min_qubits=4, max_qubits=6, max_gates=25))
+    @settings(**SETTINGS)
+    def test_kernelize_cost_never_exceeds_naive(self, circuit):
+        cm = CostModel()
+        atlas = kernelize(circuit, cm, KernelizeConfig(pruning_threshold=64)).total_cost
+        naive = ordered_kernelize(circuit, cm).total_cost
+        assert atlas <= naive + 1e-9
+
+    @given(circuits(min_qubits=4, max_qubits=6, max_gates=25))
+    @settings(**SETTINGS)
+    def test_greedy_kernels_respect_width(self, circuit):
+        for kernel in greedy_kernelize(circuit, max_width=4):
+            assert kernel.num_qubits <= 4
+
+
+class TestStagingProperties:
+    @given(circuits(min_qubits=5, max_qubits=7, max_gates=25))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_staged_execution_matches_reference(self, circuit):
+        n = circuit.num_qubits
+        machine = MachineConfig.for_circuit(n, num_gpus=4, local_qubits=n - 2)
+        from repro.core import partition
+
+        plan, _ = partition(circuit, machine,
+                            kernelize_config=KernelizeConfig(pruning_threshold=8))
+        plan.validate(circuit)
+        out, _ = execute_plan(plan, machine=machine)
+        assert simulate_reference(circuit).allclose(out)
+
+    @given(circuits(min_qubits=5, max_qubits=7, max_gates=25))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_ilp_stage_count_at_most_heuristic(self, circuit):
+        n = circuit.num_qubits
+        local, regional = n - 2, 1
+        global_ = n - local - regional
+        ilp = stage_circuit(circuit, local, regional, global_)
+        heuristic = snuqs_stage_circuit(circuit, local, regional, global_)
+        assert ilp.num_stages <= heuristic.num_stages
+
+
+# ---------------------------------------------------------------------------
+# Layout permutations
+# ---------------------------------------------------------------------------
+
+
+class TestLayoutProperties:
+    @given(st.integers(2, 6), st.permutations(list(range(6))), st.integers(0, 999))
+    @settings(**SETTINGS)
+    def test_permute_state_is_norm_preserving_and_reversible(self, n, perm, seed):
+        perm = list(perm)[:n]
+        if sorted(perm) != list(range(n)):
+            perm = list(range(n))
+        target = {q: perm[q] for q in range(n)}
+        state = StateVector.random_state(n, seed=seed).data
+        layout = QubitLayout(n)
+        forward = permute_state(state, layout, target)
+        assert np.linalg.norm(forward) == pytest.approx(1.0, abs=1e-9)
+        back = permute_state(forward, QubitLayout(n, target), {q: q for q in range(n)})
+        assert np.allclose(back, state)
+
+
+# ---------------------------------------------------------------------------
+# ILP backend agreement
+# ---------------------------------------------------------------------------
+
+
+class TestIlpProperties:
+    @given(
+        st.lists(st.integers(1, 6), min_size=3, max_size=7),
+        st.integers(4, 12),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_backends_agree_on_knapsack(self, weights, capacity):
+        model = IlpModel("knapsack")
+        xs = [model.binary_var(f"x{i}") for i in range(len(weights))]
+        model.add_constraint(lin_sum(w * x for w, x in zip(weights, xs)) <= capacity)
+        # Value equals weight: maximise packed weight.
+        model.minimize(lin_sum(-w * x for w, x in zip(weights, xs)))
+        a = solve_with_scipy(model)
+        b = solve_with_branch_and_bound(model, time_limit=20)
+        assert a.status.is_feasible and b.status.is_feasible
+        assert a.objective == pytest.approx(b.objective, abs=1e-6)

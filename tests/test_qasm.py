@@ -1,0 +1,106 @@
+"""Tests for the OpenQASM 2.0 reader/writer."""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit, from_qasm, to_qasm
+from repro.circuits.library import CIRCUIT_FAMILIES
+from repro.circuits.qasm import QasmError
+from repro.sim import simulate_reference
+
+
+class TestWriter:
+    def test_header(self):
+        text = to_qasm(Circuit(3).h(0))
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in text
+
+    def test_gate_lines(self):
+        text = to_qasm(Circuit(2).h(0).cx(0, 1).rz(0.5, 1))
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "rz(0.5) q[1];" in text
+
+    def test_pi_formatting(self):
+        text = to_qasm(Circuit(1).rz(math.pi / 2, 0))
+        assert "pi/2" in text
+
+    def test_p_gate_written_as_u1(self):
+        text = to_qasm(Circuit(1).p(0.3, 0))
+        assert "u1(0.3) q[0];" in text
+
+
+class TestReader:
+    def test_simple_parse(self):
+        c = from_qasm(
+            """
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[2];
+            creg c[2];
+            h q[0];
+            cx q[0],q[1];
+            measure q[0] -> c[0];
+            """
+        )
+        assert c.num_qubits == 2
+        assert len(c) == 2
+        assert c[1].name == "cx"
+        assert c[1].control_qubits == (0,)
+
+    def test_comments_stripped(self):
+        c = from_qasm("qreg q[1]; // comment\nh q[0]; // another")
+        assert len(c) == 1
+
+    def test_parameter_expressions(self):
+        c = from_qasm("qreg q[1]; rz(pi/4) q[0]; rz(-pi) q[0]; rz(3*pi/2) q[0];")
+        assert c[0].params[0] == pytest.approx(math.pi / 4)
+        assert c[1].params[0] == pytest.approx(-math.pi)
+        assert c[2].params[0] == pytest.approx(3 * math.pi / 2)
+
+    def test_alias_cu1(self):
+        c = from_qasm("qreg q[2]; cu1(0.5) q[0],q[1];")
+        assert c[0].name == "cp"
+
+    def test_barrier_ignored(self):
+        c = from_qasm("qreg q[2]; h q[0]; barrier q[0],q[1]; h q[1];")
+        assert len(c) == 2
+
+    def test_missing_qreg_raises(self):
+        with pytest.raises(QasmError, match="no quantum register"):
+            from_qasm("h q[0];")
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(QasmError, match="unsupported gate"):
+            from_qasm("qreg q[1]; magic q[0];")
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(QasmError, match="expects"):
+            from_qasm("qreg q[2]; cx q[0];")
+
+    def test_bad_parameter_raises(self):
+        with pytest.raises(QasmError):
+            from_qasm("qreg q[1]; rz(import) q[0];")
+
+    def test_custom_gate_definition_rejected(self):
+        with pytest.raises(QasmError, match="unsupported QASM construct"):
+            from_qasm("qreg q[1]; gate foo a { h a; } foo q[0];")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("family", sorted(CIRCUIT_FAMILIES))
+    def test_roundtrip_preserves_semantics(self, family):
+        num_qubits = 6 if family != "hhl" else 5
+        circuit = CIRCUIT_FAMILIES[family](num_qubits)
+        parsed = from_qasm(to_qasm(circuit))
+        assert parsed.num_qubits == circuit.num_qubits
+        assert len(parsed) == len(circuit)
+        original = simulate_reference(circuit)
+        reparsed = simulate_reference(parsed)
+        assert original.allclose(reparsed)
+
+    def test_roundtrip_gate_identity(self):
+        c = Circuit(3).h(0).cx(0, 1).ccx(0, 1, 2).swap(1, 2).rz(0.25, 0).cp(0.5, 2, 0)
+        parsed = from_qasm(to_qasm(c))
+        assert parsed == c

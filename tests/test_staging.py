@@ -1,0 +1,174 @@
+"""Tests for circuit staging: the ILP formulation, Algorithm 2, and the heuristics."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.library import ghz, ising, qft, random_circuit, wstate
+from repro.core import (
+    build_staging_ilp,
+    greedy_stage_circuit,
+    snuqs_stage_circuit,
+    solve_staging,
+    stage_circuit,
+)
+from repro.core.plan import QubitPartition
+from repro.ilp import solve
+
+
+def _check_staging(circuit, result, local, regional, global_):
+    """Invariants every staging (ILP or heuristic) must satisfy."""
+    # Every gate appears exactly once.
+    indices = []
+    for stage in result.stages:
+        indices.extend(stage.gate_indices)
+    assert sorted(indices) == list(range(len(circuit)))
+    # Dependencies respected by the stage order.
+    assert circuit.is_topologically_equivalent(indices)
+    for stage in result.stages:
+        partition = stage.partition
+        assert partition.num_local == local
+        assert partition.num_regional == regional
+        assert partition.num_global == global_
+        # Locality invariant: non-insular qubits are local.
+        assert stage.validate_locality()
+
+
+class TestQubitPartition:
+    def test_logical_to_physical_layout(self):
+        p = QubitPartition.from_sets({3, 1}, {5}, {0})
+        mapping = p.logical_to_physical()
+        # Local qubits occupy physical 0..L-1 in ascending logical order.
+        assert mapping[1] == 0 and mapping[3] == 1
+        assert mapping[5] == 2
+        assert mapping[0] == 3
+        assert p.physical_to_logical()[0] == 1
+
+    def test_classify(self):
+        p = QubitPartition.from_sets({0}, {1}, {2})
+        assert p.classify(0) == "local"
+        assert p.classify(1) == "regional"
+        assert p.classify(2) == "global"
+        with pytest.raises(ValueError):
+            p.classify(3)
+
+    def test_overlapping_sets_rejected(self):
+        with pytest.raises(ValueError):
+            QubitPartition.from_sets({0, 1}, {1}, set())
+
+
+class TestStagingIlpFormulation:
+    def test_single_stage_when_everything_fits(self):
+        circuit = ghz(6)
+        result = stage_circuit(circuit, 6, 0, 0)
+        assert result.num_stages == 1
+        assert result.communication_cost == 0.0
+
+    def test_model_is_infeasible_with_one_stage_when_it_must_split(self):
+        # A circuit touching all 6 qubits non-insularly cannot run in one
+        # stage with only 3 local qubits.
+        circuit = Circuit(6)
+        for q in range(5):
+            circuit.h(q)
+            circuit.cx(q, q + 1)
+        model, _ = build_staging_ilp(circuit, 1, 3, 2, 1)
+        assert not solve(model).status.is_feasible
+        assert solve_staging(circuit, 1, 3, 2, 1) is None
+
+    def test_lrg_must_cover_circuit(self):
+        with pytest.raises(ValueError, match="must equal"):
+            stage_circuit(ghz(6), 3, 1, 1)
+
+    def test_insular_gates_do_not_force_locality(self):
+        # A chain of cz gates is fully insular: one stage suffices even with
+        # a single local qubit.
+        circuit = Circuit(6)
+        for q in range(5):
+            circuit.cz(q, q + 1)
+        result = stage_circuit(circuit, 1, 2, 3)
+        assert result.num_stages == 1
+
+    @pytest.mark.parametrize("family,builder", [("qft", qft), ("ising", ising), ("wstate", wstate)])
+    def test_staging_invariants_per_family(self, family, builder):
+        circuit = builder(10)
+        result = stage_circuit(circuit, 6, 2, 2)
+        _check_staging(circuit, result, 6, 2, 2)
+
+    def test_staging_invariants_random_circuits(self):
+        for seed in range(3):
+            circuit = random_circuit(9, 50, seed=seed)
+            result = stage_circuit(circuit, 5, 2, 2)
+            _check_staging(circuit, result, 5, 2, 2)
+
+    def test_minimum_stage_count_is_minimal(self):
+        # Algorithm 2 returns the smallest feasible s: for this circuit a
+        # 2-stage solution exists but a 1-stage solution does not.
+        circuit = Circuit(4)
+        circuit.h(0).h(1).cx(0, 1)
+        circuit.h(2).h(3).cx(2, 3)
+        result = stage_circuit(circuit, 2, 1, 1)
+        assert result.num_stages == 2
+        assert solve_staging(circuit, 1, 2, 1, 1) is None
+
+    def test_communication_cost_counts_new_local_and_global(self):
+        circuit = Circuit(4)
+        circuit.h(0).h(1).cx(0, 1)
+        circuit.h(2).h(3).cx(2, 3)
+        result = stage_circuit(circuit, 2, 1, 1, inter_node_cost_factor=3.0)
+        # Going from {0,1} local to {2,3} local: 2 new local qubits; one new
+        # global qubit may also rotate in, costing 3 each.
+        assert result.communication_cost >= 2.0
+
+    def test_branch_and_bound_backend_agrees_on_stage_count(self):
+        circuit = ising(6)
+        a = stage_circuit(circuit, 4, 1, 1, backend="scipy")
+        b = stage_circuit(circuit, 4, 1, 1, backend="branch-and-bound", time_limit=30)
+        assert a.num_stages == b.num_stages
+
+    def test_single_qubit_machine_edge_case(self):
+        circuit = Circuit(2).h(0).h(1)
+        result = stage_circuit(circuit, 1, 1, 0)
+        assert result.num_stages == 2
+
+    def test_infeasible_architecture_raises(self):
+        # A swap gate needs 2 local qubits; L=1 can never host it.
+        circuit = Circuit(3).swap(0, 1)
+        with pytest.raises(RuntimeError, match="no feasible staging"):
+            stage_circuit(circuit, 1, 1, 1, max_stages=3)
+
+
+class TestHeuristicStaging:
+    @pytest.mark.parametrize(
+        "stager", [snuqs_stage_circuit, greedy_stage_circuit]
+    )
+    def test_heuristic_invariants(self, stager):
+        for builder in (qft, ising, wstate):
+            circuit = builder(10)
+            result = stager(circuit, 6, 2, 2)
+            _check_staging(circuit, result, 6, 2, 2)
+
+    def test_heuristics_handle_random_circuits(self):
+        for seed in range(3):
+            circuit = random_circuit(9, 60, seed=seed)
+            result = snuqs_stage_circuit(circuit, 5, 2, 2)
+            _check_staging(circuit, result, 5, 2, 2)
+
+    def test_ilp_never_needs_more_stages_than_heuristics(self):
+        # Theorem 1: the ILP stage count is minimal.
+        for builder in (qft, ising, wstate, ghz):
+            circuit = builder(9)
+            ilp = stage_circuit(circuit, 5, 2, 2)
+            snuqs = snuqs_stage_circuit(circuit, 5, 2, 2)
+            greedy = greedy_stage_circuit(circuit, 5, 2, 2)
+            assert ilp.num_stages <= snuqs.num_stages
+            assert ilp.num_stages <= greedy.num_stages
+
+    def test_heuristic_lrg_validation(self):
+        with pytest.raises(ValueError):
+            snuqs_stage_circuit(ghz(6), 3, 1, 1)
+        with pytest.raises(ValueError):
+            greedy_stage_circuit(ghz(6), 3, 1, 1)
+
+    def test_snuqs_marks_itself_heuristic(self):
+        result = snuqs_stage_circuit(ghz(6), 4, 1, 1)
+        assert result.solver_status == "heuristic"
+        assert not result.ilp_feasible
