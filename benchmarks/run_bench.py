@@ -1,0 +1,366 @@
+#!/usr/bin/env python
+"""Simulation-core benchmark runner — emits/checks ``BENCH_simcore.json``.
+
+Measures the zero-copy gate-application engine against the seed
+implementation (dense tensordot apply + ``expand_matrix``-product fusion,
+per-gate allocation) that :func:`repro.sim.apply.apply_matrix_reference`
+preserves:
+
+* **micro** — gates/sec by gate class (dense 1q, dense 2q, diagonal,
+  permutation, controlled, fused 3q), each swept across qubit positions of
+  a ``2^n`` state, for the engine and for the seed reference;
+* **plan** — end-to-end :func:`repro.runtime.execute_plan` wall time on a
+  QFT benchmark circuit (the paper's QFT-28 shape at a configurable size)
+  versus a faithful re-implementation of the seed executor;
+* **allocations** — engine allocation counts for a warm plan execution
+  (the O(1)-state-sized-allocations property).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # full run, writes BENCH_simcore.json
+    PYTHONPATH=src python benchmarks/run_bench.py --quick         # small sizes + regression check
+    PYTHONPATH=src python benchmarks/run_bench.py --quick --write # refresh baseline at quick scale
+
+``--quick`` compares against the committed baseline and exits non-zero if
+any metric regressed by more than ``--threshold`` (default 2×).  The same
+check runs under ``pytest -m bench`` (see ``test_simcore_micro.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+try:  # allow "python benchmarks/run_bench.py" without PYTHONPATH
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.circuits.library import qft
+from repro.cluster import MachineConfig
+from repro.core import partition
+from repro.runtime import execute_plan
+from repro.runtime.sharding import QubitLayout, permute_state
+from repro.sim import apply_matrix_reference, expand_matrix, kernel_qubits
+from repro.sim import apply as apply_mod
+from repro.sim.apply import apply_gate_buffered, apply_matrix
+from repro.circuits.gates import gate_matrix
+
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_simcore.json"
+
+#: Gate classes of the micro benchmark: name -> (matrix factory, #qubits).
+GATE_CLASSES = {
+    "dense_1q": (lambda: gate_matrix("h"), 1),
+    "dense_2q": (lambda: _random_unitary(4, seed=7), 2),
+    "diagonal": (lambda: gate_matrix("cp", [0.3]), 2),
+    "permutation": (lambda: gate_matrix("cx"), 2),
+    "controlled": (lambda: gate_matrix("ch"), 2),
+    "fused_3q": (lambda: _random_unitary(8, seed=9), 3),
+}
+
+
+def _random_unitary(dim: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    raw = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    unitary, _ = np.linalg.qr(raw)
+    return unitary
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    """Minimum wall time over *repeats* calls.
+
+    The minimum is the standard estimator for throughput microbenchmarks:
+    it is the sample least polluted by scheduler/container contention, and
+    both the engine and the seed reference are measured the same way.
+    """
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.min(samples))
+
+
+# ---------------------------------------------------------------------------
+# Micro benchmark
+# ---------------------------------------------------------------------------
+
+
+def _sweep_positions(n: int, k: int) -> list[list[int]]:
+    """Qubit tuples covering low / middle / high positions of the register."""
+    if k == 1:
+        picks = sorted({0, 1, n // 2, n - 2, n - 1})
+        return [[q] for q in picks]
+    if k == 2:
+        return [
+            [0, 1],
+            [1, 0],
+            [0, n - 1],
+            [n // 2 - 1, n // 2],
+            [2, n // 2],
+            [n - 2, n - 1],
+        ]
+    return [[0, 1, 2], [n // 2 - 1, n // 2, n // 2 + 1], [n - 3, n - 2, n - 1]]
+
+
+def run_micro(num_qubits: int, repeats: int = 5) -> dict:
+    """Gates/sec per gate class for the engine vs the seed reference."""
+    rng = np.random.default_rng(0)
+    state = rng.normal(size=1 << num_qubits) + 1j * rng.normal(size=1 << num_qubits)
+    state /= np.linalg.norm(state)
+    scratch = np.empty_like(state)
+    results: dict[str, dict] = {}
+    for label, (factory, k) in GATE_CLASSES.items():
+        matrix = factory()
+        sweeps = _sweep_positions(num_qubits, k)
+
+        def run_fast(buffers=[state, scratch]):
+            buf, scr = buffers
+            for qubits in sweeps:
+                buf, scr = apply_gate_buffered(buf, scr, matrix, qubits)
+            buffers[0], buffers[1] = buf, scr
+
+        def run_reference():
+            for qubits in sweeps:
+                apply_matrix_reference(state, matrix, qubits)
+
+        fast = _best_seconds(run_fast, repeats) / len(sweeps)
+        reference = _best_seconds(run_reference, repeats) / len(sweeps)
+        results[label] = {
+            "fast_gates_per_s": 1.0 / fast,
+            "ref_gates_per_s": 1.0 / reference,
+            "speedup": reference / fast,
+        }
+    classes_1q2q = [c for c, (_, k) in GATE_CLASSES.items() if k <= 2]
+    speedups = [results[c]["speedup"] for c in classes_1q2q]
+    results["mix_1q2q_speedup"] = float(np.exp(np.mean(np.log(speedups))))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# End-to-end plan benchmark (engine vs faithful seed executor)
+# ---------------------------------------------------------------------------
+
+
+def _fused_unitary_seed(gates, qubits=None):
+    """Seed fusion: expand every gate to the kernel space and matmul (O(8^m))."""
+    if qubits is None:
+        qubits = kernel_qubits(gates)
+    qubits = tuple(qubits)
+    fused = np.eye(1 << len(qubits), dtype=np.complex128)
+    for gate in gates:
+        fused = expand_matrix(gate.matrix(), gate.qubits, qubits) @ fused
+    return fused, qubits
+
+
+def _execute_plan_seed(plan):
+    """The seed executor: tensordot apply, per-kernel re-fusion, per-gate
+    allocation.  Mirrors the pre-optimization ``execute_plan`` code path."""
+    n = plan.num_qubits
+    state = np.zeros(1 << n, dtype=np.complex128)
+    state[0] = 1.0
+    layout = QubitLayout(n)
+    for stage in plan.stages:
+        target = stage.partition.logical_to_physical()
+        if target != layout.logical_to_physical():
+            state = permute_state(state, layout, target)
+            layout.update(target)
+        logical_to_physical = layout.logical_to_physical()
+        kernels = stage.kernels or []
+        if stage.kernels is None:
+            groups = [([gate], None) for gate in stage.gates]
+        else:
+            groups = [(list(k.gates), k.kernel_type) for k in kernels]
+        for gates, kernel_type in groups:
+            if kernel_type is not None and kernel_type.value == "fusion":
+                matrix, logical_qubits = _fused_unitary_seed(gates)
+                physical = [logical_to_physical[q] for q in logical_qubits]
+                state = apply_matrix_reference(state, matrix, physical)
+            else:
+                for gate in gates:
+                    physical = [logical_to_physical[q] for q in gate.qubits]
+                    state = apply_matrix_reference(state, gate.matrix(), physical)
+    identity = {q: q for q in range(n)}
+    if layout.logical_to_physical() != identity:
+        state = permute_state(state, layout, identity)
+    return state
+
+
+def run_plan(num_qubits: int, repeats: int = 3) -> dict:
+    """Wall time of execute_plan vs the seed executor on a QFT circuit."""
+    circuit = qft(num_qubits)
+    machine = MachineConfig.for_circuit(
+        num_qubits, num_gpus=4, local_qubits=num_qubits - 2
+    )
+    plan, _ = partition(circuit, machine)
+
+    # Warm caches (fused unitaries, dispatch analysis, scratch pool) so the
+    # timed runs measure steady-state execution.
+    fast_state, _ = execute_plan(plan)
+    fast = _best_seconds(lambda: execute_plan(plan), repeats)
+
+    apply_mod.reset_allocation_log()
+    execute_plan(plan)
+    log = apply_mod.allocation_log()
+
+    seed_state = _execute_plan_seed(plan)
+    seed = _best_seconds(lambda: _execute_plan_seed(plan), repeats)
+    agreement = float(abs(np.vdot(fast_state.data, seed_state)))
+
+    return {
+        "circuit": "qft",
+        "num_qubits": num_qubits,
+        "num_gates": len(circuit),
+        "fast_seconds": fast,
+        "ref_seconds": seed,
+        "speedup": seed / fast,
+        "state_fidelity_vs_seed": agreement**2,
+        "warm_allocations_total": len(log),
+        "warm_allocations_state_sized": sum(
+            1 for size in log if size >= 1 << num_qubits
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison
+# ---------------------------------------------------------------------------
+
+
+def check_regression(
+    current: dict, baseline: dict, threshold: float = 2.0
+) -> list[str]:
+    """Return human-readable regressions of *current* vs *baseline*.
+
+    A regression is any throughput metric (``fast_gates_per_s``) or plan
+    wall time that is worse than the baseline by more than *threshold*.
+    Benchmarks at different sizes are not compared.
+    """
+    problems: list[str] = []
+    for size, classes in baseline.get("micro", {}).items():
+        now = current.get("micro", {}).get(size)
+        if now is None:
+            continue
+        for label, metrics in classes.items():
+            if not isinstance(metrics, dict) or label not in now:
+                continue
+            old_rate, new_rate = metrics["fast_gates_per_s"], now[label]["fast_gates_per_s"]
+            if new_rate * threshold < old_rate:
+                problems.append(
+                    f"micro[{size}][{label}]: {new_rate:.1f} gates/s vs "
+                    f"baseline {old_rate:.1f} (>{threshold}x regression)"
+                )
+    for size, old_plan in baseline.get("plans", {}).items():
+        new_plan = current.get("plans", {}).get(size)
+        if new_plan and new_plan["fast_seconds"] > threshold * old_plan["fast_seconds"]:
+            problems.append(
+                f"plans[{size}]: {new_plan['fast_seconds']:.3f}s vs baseline "
+                f"{old_plan['fast_seconds']:.3f}s (>{threshold}x regression)"
+            )
+    return problems
+
+
+def run_suite(
+    micro_sizes: list[int], plan_sizes: list[int], repeats: int
+) -> dict:
+    return {
+        "schema": 1,
+        "config": {
+            "micro_qubits": micro_sizes,
+            "plan_qubits": plan_sizes,
+            "repeats": repeats,
+        },
+        "micro": {str(n): run_micro(n, repeats) for n in micro_sizes},
+        "plans": {str(n): run_plan(n, max(2, repeats - 2)) for n in plan_sizes},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--micro-qubits", type=int, default=20)
+    parser.add_argument("--plan-qubits", type=int, default=20)
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes, fewer repeats, and regression-check vs the baseline",
+    )
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="where to write results (ignored with --quick unless --write)",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="with --quick: overwrite the baseline instead of only checking",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="regression factor that fails the --quick check",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        micro_sizes = [min(args.micro_qubits, 16)]
+        plan_sizes = [min(args.plan_qubits, 14)]
+        args.repeats = min(args.repeats, 3)
+    else:
+        # The full run also measures the quick sizes so `--quick` always has
+        # matching baseline entries to regression-check against.
+        micro_sizes = sorted({16, args.micro_qubits})
+        plan_sizes = sorted({14, args.plan_qubits})
+
+    results = run_suite(micro_sizes, plan_sizes, args.repeats)
+
+    for size in micro_sizes:
+        micro = results["micro"][str(size)]
+        print(f"micro ({size} qubits):")
+        for label, metrics in micro.items():
+            if isinstance(metrics, dict):
+                print(
+                    f"  {label:12s} {metrics['fast_gates_per_s']:10.1f} gates/s "
+                    f"(seed {metrics['ref_gates_per_s']:10.1f}; "
+                    f"{metrics['speedup']:.1f}x)"
+                )
+        print(f"  1q/2q mix speedup: {micro['mix_1q2q_speedup']:.1f}x")
+    for size in plan_sizes:
+        plan = results["plans"][str(size)]
+        print(
+            f"plan (qft-{plan['num_qubits']}, {plan['num_gates']} gates): "
+            f"{plan['fast_seconds']*1e3:.1f} ms vs seed {plan['ref_seconds']*1e3:.1f} ms "
+            f"({plan['speedup']:.1f}x), {plan['warm_allocations_state_sized']} "
+            f"state-sized allocations warm"
+        )
+
+    if args.quick and not args.write:
+        if not args.baseline.exists():
+            print(f"no baseline at {args.baseline}; skipping regression check")
+            return 0
+        baseline = json.loads(args.baseline.read_text())
+        problems = check_regression(results, baseline, args.threshold)
+        if problems:
+            print("REGRESSIONS:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"no >{args.threshold}x regressions vs {args.baseline}")
+        return 0
+
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

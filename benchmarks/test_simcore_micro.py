@@ -1,0 +1,73 @@
+"""Simulation-core micro benchmarks (opt-in: ``pytest -m bench``).
+
+These tests assert the perf envelope the zero-copy engine must hold —
+specialized paths beating the tensordot reference, plan execution beating
+the seed executor, and no >2x regression vs the committed
+``BENCH_simcore.json`` baseline.  They are excluded from the default
+(tier-1) run by the ``bench`` marker because wall-clock assertions are
+machine-dependent; run them with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_simcore_micro.py -m bench -s
+"""
+
+import json
+
+import pytest
+
+import run_bench
+
+
+pytestmark = pytest.mark.bench
+
+
+@pytest.fixture(scope="module")
+def micro_results():
+    return run_bench.run_micro(num_qubits=18, repeats=3)
+
+
+class TestMicroSpeedups:
+    def test_structured_paths_beat_reference(self, micro_results):
+        # Conservative floors (the committed 20q baseline records ~5-10x):
+        # structured gates must win big, dense gates must at least win.
+        assert micro_results["diagonal"]["speedup"] > 3.0
+        assert micro_results["permutation"]["speedup"] > 3.0
+        assert micro_results["controlled"]["speedup"] > 1.5
+
+    def test_dense_paths_beat_reference(self, micro_results):
+        assert micro_results["dense_1q"]["speedup"] > 1.5
+        assert micro_results["dense_2q"]["speedup"] > 1.2
+
+    def test_1q2q_mix_speedup(self, micro_results):
+        assert micro_results["mix_1q2q_speedup"] > 2.5
+
+
+class TestPlanSpeedup:
+    def test_execute_plan_beats_seed_executor(self):
+        plan = run_bench.run_plan(num_qubits=14, repeats=2)
+        assert plan["speedup"] > 1.5
+        assert plan["state_fidelity_vs_seed"] > 1 - 1e-9
+        # Ping-pong pair + one tensordot workspace per wide fused kernel —
+        # a handful, never O(#gates) (qft-14 has 105 gates).
+        assert plan["warm_allocations_state_sized"] <= 10
+
+
+class TestBaselineRegression:
+    def test_quick_run_has_no_regression_vs_committed_baseline(self):
+        baseline_path = run_bench.DEFAULT_BASELINE
+        if not baseline_path.exists():
+            pytest.skip("no committed BENCH_simcore.json baseline")
+        baseline = json.loads(baseline_path.read_text())
+        current = run_bench.run_suite(micro_sizes=[16], plan_sizes=[14], repeats=3)
+        problems = run_bench.check_regression(current, baseline, threshold=2.0)
+        assert not problems, "\n".join(problems)
+
+    def test_check_regression_flags_slowdowns(self):
+        current = run_bench.run_suite(micro_sizes=[16], plan_sizes=[14], repeats=2)
+        assert run_bench.check_regression(current, current) == []
+        slowed = json.loads(json.dumps(current))
+        for metrics in slowed["micro"]["16"].values():
+            if isinstance(metrics, dict):
+                metrics["fast_gates_per_s"] /= 10.0
+        slowed["plans"]["14"]["fast_seconds"] *= 10.0
+        problems = run_bench.check_regression(current=slowed, baseline=current)
+        assert len(problems) >= 2

@@ -25,8 +25,7 @@ import numpy as np
 
 from ..circuits.gates import Gate, make_gate
 from ..cluster.costmodel import CostModel
-from ..sim.apply import apply_matrix
-from ..sim.fusion import fused_unitary
+from ..sim.apply import apply_matrix, tracked_empty
 
 __all__ = ["CalibrationResult", "calibrate_cost_model", "measure_fusion_times", "measure_gate_times"]
 
@@ -80,6 +79,7 @@ def measure_fusion_times(
     rng = np.random.default_rng(seed)
     state = rng.normal(size=1 << state_qubits) + 1j * rng.normal(size=1 << state_qubits)
     state /= np.linalg.norm(state)
+    out = tracked_empty(state.size)
     timings: dict[int, float] = {}
     for width in widths:
         # A random unitary of the requested width (QR of a Gaussian matrix).
@@ -88,7 +88,7 @@ def measure_fusion_times(
         unitary, _ = np.linalg.qr(raw)
         qubits = list(range(width))
         timings[int(width)] = _time_call(
-            lambda u=unitary, q=qubits: apply_matrix(state, u, q), repeats
+            lambda u=unitary, q=qubits: apply_matrix(state, u, q, out=out), repeats
         )
     return timings
 
@@ -111,10 +111,11 @@ def measure_gate_times(
     rng = np.random.default_rng(seed)
     state = rng.normal(size=1 << state_qubits) + 1j * rng.normal(size=1 << state_qubits)
     state /= np.linalg.norm(state)
+    buf = tracked_empty(state.size)
     out: dict[str, float] = {}
     for gate in gate_samples:
         out[gate.name] = _time_call(
-            lambda g=gate: apply_matrix(state, g.matrix(), g.qubits), repeats
+            lambda g=gate: apply_matrix(state, g.matrix(), g.qubits, out=buf), repeats
         )
     return out
 

@@ -278,6 +278,14 @@ def _cached_structure(name: str, params: tuple[float, ...]) -> tuple[bool, bool]
     return is_diagonal(matrix), is_antidiagonal(matrix)
 
 
+@lru_cache(maxsize=65536)
+def _cached_diagonal(name: str, params: tuple[float, ...]) -> np.ndarray:
+    """Diagonal entries of the gate's matrix as a cached read-only array."""
+    diagonal = np.ascontiguousarray(np.diag(_cached_matrix(name, params)))
+    diagonal.setflags(write=False)
+    return diagonal
+
+
 # ---------------------------------------------------------------------------
 # Gate instances
 # ---------------------------------------------------------------------------
@@ -337,6 +345,14 @@ class Gate:
         equal gates; copy it before mutating.
         """
         return _cached_matrix(self.name, self.params)
+
+    def diagonal(self) -> np.ndarray:
+        """Diagonal entries of this gate's matrix (cached, read-only).
+
+        Only meaningful when :meth:`is_diagonal` is true; used by the
+        simulator's in-place diagonal fast path.
+        """
+        return _cached_diagonal(self.name, self.params)
 
     # -- insularity (Definition 2) -------------------------------------------
 

@@ -23,8 +23,8 @@ from ..circuits.gates import Gate
 from ..cluster.machine import MachineConfig
 from ..core.kernel import Kernel, KernelType
 from ..core.plan import ExecutionPlan
-from ..sim.apply import apply_matrix
-from ..sim.fusion import fused_unitary
+from ..sim.apply import apply_gate_buffered, tracked_empty
+from ..sim.fusion import fused_unitary_cached
 from ..sim.statevector import StateVector
 from .sharding import QubitLayout, permute_state
 
@@ -44,19 +44,26 @@ class ExecutionTrace:
 
 def _apply_kernel(
     state: np.ndarray,
+    scratch: np.ndarray,
     kernel: Kernel,
     logical_to_physical: dict[int, int],
-) -> np.ndarray:
-    """Apply one kernel to the full state in the current physical layout."""
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply one kernel to the full state in the current physical layout.
+
+    The state ping-pongs between the two buffers; the returned pair is
+    ``(new_state, new_scratch)``.
+    """
     if kernel.kernel_type is KernelType.FUSION:
-        matrix, logical_qubits = fused_unitary(list(kernel.gates))
+        matrix, logical_qubits = fused_unitary_cached(kernel.gates)
         physical_qubits = [logical_to_physical[q] for q in logical_qubits]
-        return apply_matrix(state, matrix, physical_qubits)
+        return apply_gate_buffered(state, scratch, matrix, physical_qubits)
     # Shared-memory kernels apply their gates one by one.
     for gate in kernel.gates:
         physical_qubits = [logical_to_physical[q] for q in gate.qubits]
-        state = apply_matrix(state, gate.matrix(), physical_qubits)
-    return state
+        state, scratch = apply_gate_buffered(
+            state, scratch, gate.matrix(), physical_qubits
+        )
+    return state, scratch
 
 
 def _check_locality(gate: Gate, logical_to_physical: dict[int, int], local_qubits: int) -> None:
@@ -91,13 +98,20 @@ def execute_plan(
         Verify the staging invariant while executing.
     """
     n = plan.num_qubits
+    state = tracked_empty(1 << n)
     if initial_state is None:
-        state = np.zeros(1 << n, dtype=np.complex128)
+        state[:] = 0.0
         state[0] = 1.0
     else:
         if initial_state.num_qubits != n:
             raise ValueError("initial state size does not match plan")
-        state = initial_state.data.copy()
+        np.copyto(state, initial_state.data)
+    # The whole execution ping-pongs between these two buffers: every gate,
+    # kernel and layout permutation writes into one of them.  The engine
+    # allocates nothing further per gate; only wide (k >= 3 dense) fused
+    # kernels cost a tensordot workspace per application, so allocations
+    # scale with the kernel count, never with the gate count.
+    scratch = tracked_empty(1 << n)
 
     layout = QubitLayout(n)
     trace = ExecutionTrace(locality_checked=check_locality)
@@ -105,7 +119,9 @@ def execute_plan(
     for stage in plan.stages:
         target = stage.partition.logical_to_physical()
         if target != layout.logical_to_physical():
-            state = permute_state(state, layout, target)
+            permuted = permute_state(state, layout, target, out=scratch)
+            if permuted is not state:
+                state, scratch = permuted, state
             layout.update(target)
             trace.num_permutations += 1
 
@@ -121,11 +137,15 @@ def execute_plan(
             # Un-kernelized stage: apply the gates directly.
             for gate in stage.gates:
                 physical = [logical_to_physical[q] for q in gate.qubits]
-                state = apply_matrix(state, gate.matrix(), physical)
+                state, scratch = apply_gate_buffered(
+                    state, scratch, gate.matrix(), physical
+                )
             trace.kernels_per_stage.append(0)
         else:
             for kernel in stage.kernels:
-                state = _apply_kernel(state, kernel, logical_to_physical)
+                state, scratch = _apply_kernel(
+                    state, scratch, kernel, logical_to_physical
+                )
             trace.kernels_per_stage.append(len(stage.kernels))
             trace.num_kernels += len(stage.kernels)
         trace.num_stages += 1
@@ -133,7 +153,9 @@ def execute_plan(
     # Permute back to the identity layout so callers see logical ordering.
     identity = {q: q for q in range(n)}
     if layout.logical_to_physical() != identity:
-        state = permute_state(state, layout, identity)
+        permuted = permute_state(state, layout, identity, out=scratch)
+        if permuted is not state:
+            state, scratch = permuted, state
         trace.num_permutations += 1
 
     return StateVector(n, state), trace

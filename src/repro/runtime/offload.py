@@ -27,6 +27,7 @@ rests on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -34,8 +35,8 @@ from ..circuits.gates import Gate
 from ..cluster.machine import MachineConfig
 from ..core.kernel import KernelType
 from ..core.plan import ExecutionPlan
-from ..sim.apply import apply_matrix
-from ..sim.fusion import fused_unitary
+from ..sim.apply import apply_gate_buffered, tracked_empty
+from ..sim.fusion import fused_unitary_cached
 from ..sim.statevector import StateVector
 from .sharding import QubitLayout, permute_state, shard_slices
 
@@ -73,53 +74,71 @@ def _is_cross_shard(gate: Gate, logical_to_physical: dict[int, int], local_qubit
     return False
 
 
+@lru_cache(maxsize=4096)
+def _reduced_gate(
+    gate: Gate, fixed: tuple[tuple[int, int], ...]
+) -> tuple[np.ndarray, tuple[int, ...]]:
+    """Reduce *gate* by resolving the listed ``(qubit, bit)`` assignments.
+
+    Control qubits are dropped (the caller only asks when the bit is 1);
+    insular diagonal qubits are projected onto their fixed bit.  Memoized so
+    every shard that resolves the same gate the same way shares one matrix
+    object (which also keeps the apply-engine's dispatch analysis warm).
+    """
+    matrix = gate.matrix()
+    qubits = list(gate.qubits)
+    control_set = set(gate.control_qubits)
+    for q, bit in fixed:
+        if q in control_set:
+            matrix, qubits = _drop_control(matrix, qubits, q)
+        else:
+            matrix, qubits = _project_insular(matrix, qubits, q, bit)
+    matrix = np.ascontiguousarray(matrix)
+    matrix.setflags(write=False)
+    return matrix, tuple(qubits)
+
+
 def _gate_on_shard(
     shard: np.ndarray,
+    scratch: np.ndarray,
     gate: Gate,
     logical_to_physical: dict[int, int],
     local_qubits: int,
     shard_index: int,
-) -> np.ndarray | None:
+) -> tuple[np.ndarray, np.ndarray]:
     """Apply *gate* to one shard, resolving insular non-local qubits.
 
-    Returns the new shard contents, or ``None`` when the gate (a controlled
-    gate whose non-local control bit is 0 for this shard) leaves the shard
-    untouched.
+    The shard contents ping-pong between the two buffers; returns the
+    ``(shard, scratch)`` pair (unchanged when a controlled gate whose
+    non-local control bit is 0 leaves the shard untouched).
     """
     physical = [logical_to_physical[q] for q in gate.qubits]
     if all(p < local_qubits for p in physical):
-        return apply_matrix(shard, gate.matrix(), physical)
+        return apply_gate_buffered(shard, scratch, gate.matrix(), physical)
 
     # Some qubits are non-local; they must be insular (the stager guarantees
     # this).  Handle controls and diagonal phases from the shard index.
-    non_local = [
-        (q, p) for q, p in zip(gate.qubits, physical) if p >= local_qubits
-    ]
     control_set = set(gate.control_qubits)
-    matrix = gate.matrix()
-
-    # Controlled gate with non-local controls: apply the reduced gate only
-    # when every non-local control bit of this shard is 1.
-    reduced_qubits = list(gate.qubits)
-    for q, p in non_local:
+    fixed: list[tuple[int, int]] = []
+    for q, p in zip(gate.qubits, physical):
+        if p < local_qubits:
+            continue
         bit = (shard_index >> (p - local_qubits)) & 1
-        if q in control_set:
-            if bit == 0:
-                return None
-            # Control satisfied: drop the control qubit from the matrix.
-            matrix, reduced_qubits = _drop_control(matrix, reduced_qubits, q)
-        else:
-            # Non-control insular qubit: diagonal or anti-diagonal.
-            matrix, reduced_qubits = _project_insular(matrix, reduced_qubits, q, bit)
+        if q in control_set and bit == 0:
+            # Unsatisfied non-local control: the shard is untouched.
+            return shard, scratch
+        fixed.append((q, bit))
+    matrix, reduced_qubits = _reduced_gate(gate, tuple(fixed))
     if not reduced_qubits:
         # Pure phase on this shard.
-        return shard * matrix[0, 0]
+        shard *= matrix[0, 0]
+        return shard, scratch
     reduced_physical = [logical_to_physical[q] for q in reduced_qubits]
     if any(p >= local_qubits for p in reduced_physical):
         raise ValueError(
             f"gate {gate} has a non-insular qubit mapped to a non-local position"
         )
-    return apply_matrix(shard, matrix, reduced_physical)
+    return apply_gate_buffered(shard, scratch, matrix, reduced_physical)
 
 
 def _drop_control(matrix: np.ndarray, qubits: list[int], control: int) -> tuple[np.ndarray, list[int]]:
@@ -173,22 +192,32 @@ def execute_plan_offloaded(
     """
     n = plan.num_qubits
     machine.validate(n)
+    state = tracked_empty(1 << n)
     if initial_state is None:
-        state = np.zeros(1 << n, dtype=np.complex128)
+        state[:] = 0.0
         state[0] = 1.0
     else:
         if initial_state.num_qubits != n:
             raise ValueError("initial state size does not match plan")
-        state = initial_state.data.copy()
+        np.copyto(state, initial_state.data)
+    # DRAM-side scratch for layout permutations and cross-shard gates, plus
+    # a GPU-side buffer pair the shard contents ping-pong through: O(1)
+    # state-sized allocations for the whole execution.
+    state_scratch = tracked_empty(1 << n)
 
     layout = QubitLayout(n)
     local = machine.local_qubits
     stats = OffloadStats(num_shards=1 << (n - local))
+    shard_size = 1 << local
+    shard_buf = tracked_empty(shard_size)
+    shard_scratch = tracked_empty(shard_size)
 
     for stage in plan.stages:
         target = stage.partition.logical_to_physical()
         if target != layout.logical_to_physical():
-            state = permute_state(state, layout, target)
+            permuted = permute_state(state, layout, target, out=state_scratch)
+            if permuted is not state:
+                state, state_scratch = permuted, state
             layout.update(target)
         logical_to_physical = layout.logical_to_physical()
 
@@ -238,11 +267,14 @@ def execute_plan_offloaded(
             if kind == "full":
                 gate = payload
                 physical = [logical_to_physical[q] for q in gate.qubits]
-                state = apply_matrix(state, gate.matrix(), physical)
+                state, state_scratch = apply_gate_buffered(
+                    state, state_scratch, gate.matrix(), physical
+                )
                 continue
             shards = shard_slices(state, local)
             for shard_index, shard in enumerate(shards):
-                data = shard.copy()
+                np.copyto(shard_buf, shard)
+                data, scratch = shard_buf, shard_scratch
                 stage_loads += 1
                 stats.shard_loads += 1
                 stats.bytes_transferred += data.nbytes
@@ -257,18 +289,20 @@ def execute_plan_offloaded(
                         )
                     )
                     if use_fusion:
-                        matrix, logical_qubits = fused_unitary(gates)
+                        matrix, logical_qubits = fused_unitary_cached(tuple(gates))
                         physical = [logical_to_physical[q] for q in logical_qubits]
-                        data = apply_matrix(data, matrix, physical)
+                        data, scratch = apply_gate_buffered(
+                            data, scratch, matrix, physical
+                        )
                     else:
                         for gate in gates:
-                            result = _gate_on_shard(
-                                data, gate, logical_to_physical, local, shard_index
+                            data, scratch = _gate_on_shard(
+                                data, scratch, gate, logical_to_physical, local,
+                                shard_index,
                             )
-                            if result is not None:
-                                data = result
 
                 shard[:] = data
+                shard_buf, shard_scratch = data, scratch
                 stats.shard_stores += 1
                 stats.bytes_transferred += data.nbytes
         stats.per_stage_loads.append(stage_loads)
@@ -276,6 +310,8 @@ def execute_plan_offloaded(
 
     identity = {q: q for q in range(n)}
     if layout.logical_to_physical() != identity:
-        state = permute_state(state, layout, identity)
+        permuted = permute_state(state, layout, identity, out=state_scratch)
+        if permuted is not state:
+            state, state_scratch = permuted, state
 
     return StateVector(n, state), stats

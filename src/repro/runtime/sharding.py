@@ -72,7 +72,10 @@ class QubitLayout:
 
 
 def permute_state(
-    state: np.ndarray, current: QubitLayout, target: dict[int, int]
+    state: np.ndarray,
+    current: QubitLayout,
+    target: dict[int, int],
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Permute *state* from the *current* layout to the *target* mapping.
 
@@ -85,11 +88,17 @@ def permute_state(
         Current layout (not modified).
     target:
         Desired logical→physical mapping.
+    out:
+        Optional destination buffer of the same size (must not overlap
+        *state*).  When given, the permuted amplitudes are written into it
+        and it is returned — no allocation.  Ignored when the permutation
+        is an identity (the input array is returned as-is).
 
     Returns
     -------
     numpy.ndarray
-        A new, C-contiguous array in the target layout.
+        A C-contiguous array in the target layout: *state* itself for an
+        identity permutation, otherwise *out* or a new array.
     """
     n = current.num_qubits
     if state.size != 1 << n:
@@ -104,12 +113,17 @@ def permute_state(
     # hold the logical qubit mapped to physical position n-1-a'.
     phys_to_logical = {p: q for q, p in cur_map.items()}
     logical_to_axis = {phys_to_logical[p]: n - 1 - p for p in range(n)}
-    axes = []
-    for new_axis in range(n):
-        physical = n - 1 - new_axis
-        logical = next(q for q, p in target.items() if p == physical)
-        axes.append(logical_to_axis[logical])
+    target_inverse = {p: q for q, p in target.items()}
+    axes = [logical_to_axis[target_inverse[n - 1 - a]] for a in range(n)]
+    if axes == list(range(n)):
+        # The two mappings induce the same amplitude ordering; no data moves.
+        return state
     permuted = np.transpose(tensor, axes=axes)
+    if out is not None:
+        if out.size != state.size:
+            raise ValueError("out size does not match state")
+        np.copyto(out.reshape(permuted.shape), permuted)
+        return out
     return np.ascontiguousarray(permuted).reshape(-1)
 
 

@@ -1,16 +1,30 @@
 """Dense state-vector simulation substrate (NumPy backend)."""
 
-from .apply import apply_diagonal, apply_matrix, expand_matrix
-from .fusion import apply_gate_sequence, fused_unitary, kernel_qubits
+from .apply import (
+    apply_diagonal,
+    apply_gate_buffered,
+    apply_matrix,
+    apply_matrix_reference,
+    expand_matrix,
+)
+from .fusion import (
+    apply_gate_sequence,
+    fused_unitary,
+    fused_unitary_cached,
+    kernel_qubits,
+)
 from .reference import simulate_reference
 from .statevector import StateVector
 
 __all__ = [
     "StateVector",
     "apply_matrix",
+    "apply_matrix_reference",
     "apply_diagonal",
+    "apply_gate_buffered",
     "expand_matrix",
     "fused_unitary",
+    "fused_unitary_cached",
     "kernel_qubits",
     "apply_gate_sequence",
     "simulate_reference",

@@ -1,11 +1,47 @@
-"""Low-level vectorised gate application on dense state vectors.
+"""Low-level zero-copy gate application on dense state vectors.
 
 The routines in this module are the computational core of the functional
-simulator.  They follow the NumPy optimisation guidance for this project:
-no Python-level loops over amplitudes, views instead of copies wherever the
-semantics allow, and contiguous (C-ordered) access patterns obtained by
-reshaping the state into a rank-``n`` tensor and contracting with
-:func:`numpy.tensordot`.
+simulator.  Every gate is dispatched to the cheapest kernel its matrix
+structure allows:
+
+``diagonal``
+    Elementwise multiply — one pass over the state, no data movement.
+``permutation``
+    The matrix has exactly one non-zero per row/column (X, Y, CX, SWAP,
+    CCX, ...).  Applied as slice copies: in place only the moved slices
+    are touched (a CX touches half the state, never the control-0 half).
+``controlled``
+    Identity except on the subspace where every control bit is 1 (CH,
+    CRX, CRY, CU, ...).  The reduced target unitary is applied on the
+    controlled subspace only — a 2× flop/byte win per control qubit.
+``dense`` (k ≤ 2)
+    Slice-pair update via a single ``einsum`` pass writing straight into
+    the output buffer — no intermediate copies.
+``big`` (k ≥ 3)
+    The original ``tensordot`` contraction, retained as the reference
+    fallback for wide fused matrices.
+
+Buffer contract
+---------------
+All application functions take an optional ``out`` buffer:
+
+* ``out is None`` — a freshly allocated array is returned and ``state``
+  is **never** modified (pure).
+* ``out`` is a distinct array of the same size — the result is written
+  into ``out`` and ``out`` is returned; ``state`` is not modified.
+  ``out`` must not overlap ``state`` (other than being the same array).
+* ``out is state`` — true in-place update; ``state`` is returned.
+
+:func:`apply_gate_buffered` wraps this contract into the ping-pong idiom
+used by the executor: structured gates (diagonal / permutation /
+controlled) are applied in place, dense gates write into the scratch
+buffer and the roles swap.  A full circuit therefore runs with O(1)
+state-sized allocations.
+
+Small temporaries (half-state slices used by in-place updates) come from
+a module-level scratch pool that is reused across calls; the engine is
+single-threaded by design.  Every buffer the engine allocates is recorded
+in an allocation log so tests can regression-check allocation counts.
 
 Conventions
 -----------
@@ -15,10 +51,14 @@ Conventions
   qubit ``q`` corresponds to tensor axis ``n - 1 - q``.
 * Gate matrices are little-endian over their ``qubits`` tuple: matrix index
   bit ``k`` corresponds to ``qubits[k]``.
+* Matrices passed to the engine must not be mutated afterwards: dispatch
+  analysis is memoized per matrix object (gate matrices are cached
+  read-only instances, so this holds throughout the package).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -26,15 +66,535 @@ import numpy as np
 __all__ = [
     "apply_matrix",
     "apply_diagonal",
+    "apply_matrix_reference",
+    "apply_gate_buffered",
     "apply_permutation_x",
     "qubit_axis",
     "expand_matrix",
+    "analyze_matrix",
+    "MatrixInfo",
+    "tracked_empty",
+    "reset_allocation_log",
+    "allocation_log",
+    "clear_scratch",
 ]
 
 
 def qubit_axis(num_qubits: int, qubit: int) -> int:
     """Tensor axis corresponding to *qubit* for a C-ordered ``(2,)*n`` tensor."""
     return num_qubits - 1 - qubit
+
+
+# ---------------------------------------------------------------------------
+# Allocation tracking and the scratch pool
+# ---------------------------------------------------------------------------
+
+#: Sizes (element counts) of every buffer the engine has allocated since the
+#: last :func:`reset_allocation_log`.  Scratch-pool hits do not allocate.
+_ALLOCATION_LOG: list[int] = []
+
+#: Reusable temporaries keyed by ``(size, slot)``.  Slot 0 holds snapshot
+#: buffers, slot 1 holds multiply-accumulate temporaries; the two never
+#: alias each other.
+_SCRATCH_POOL: dict[tuple[int, int], np.ndarray] = {}
+
+
+def tracked_empty(size: int) -> np.ndarray:
+    """Allocate a flat complex128 buffer, recording it in the allocation log."""
+    _ALLOCATION_LOG.append(int(size))
+    return np.empty(int(size), dtype=np.complex128)
+
+
+def reset_allocation_log() -> None:
+    """Clear the engine allocation log (see :func:`allocation_log`)."""
+    _ALLOCATION_LOG.clear()
+
+
+def allocation_log() -> list[int]:
+    """Element counts of engine allocations since the last reset."""
+    return list(_ALLOCATION_LOG)
+
+
+def clear_scratch() -> None:
+    """Drop all pooled scratch buffers (frees memory, forces re-allocation)."""
+    _SCRATCH_POOL.clear()
+
+
+def _scratch(size: int, slot: int = 0) -> np.ndarray:
+    key = (size, slot)
+    buf = _SCRATCH_POOL.get(key)
+    if buf is None:
+        buf = tracked_empty(size)
+        _SCRATCH_POOL[key] = buf
+    return buf
+
+
+# ---------------------------------------------------------------------------
+# Matrix structure analysis (memoized per matrix object)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatrixInfo:
+    """Dispatch classification of a gate matrix.
+
+    ``kind`` is one of ``"diagonal"``, ``"permutation"``, ``"controlled"``,
+    ``"dense"`` (k ≤ 2) or ``"big"`` (tensordot fallback).  For
+    ``controlled``, ``controls``/``targets`` are bit positions within the
+    gate's little-endian index and ``reduced_info`` classifies the target
+    block (never itself ``controlled``: control detection is maximal).
+    """
+
+    kind: str
+    k: int
+    diagonal: np.ndarray | None = None
+    perm: tuple[int, ...] | None = None
+    phases: np.ndarray | None = None
+    controls: tuple[int, ...] = ()
+    targets: tuple[int, ...] = ()
+    reduced_matrix: np.ndarray | None = None
+    reduced_info: "MatrixInfo | None" = None
+
+
+_ANALYSIS_CACHE: dict[int, tuple[np.ndarray, MatrixInfo]] = {}
+_ANALYSIS_CACHE_MAX = 4096
+
+
+def analyze_matrix(matrix: np.ndarray) -> MatrixInfo:
+    """Classify *matrix* for dispatch.  Memoized by matrix object identity."""
+    key = id(matrix)
+    hit = _ANALYSIS_CACHE.get(key)
+    if hit is not None and hit[0] is matrix:
+        return hit[1]
+    info = _analyze_impl(matrix)
+    if len(_ANALYSIS_CACHE) >= _ANALYSIS_CACHE_MAX:
+        _ANALYSIS_CACHE.clear()
+    _ANALYSIS_CACHE[key] = (matrix, info)
+    return info
+
+
+def _analyze_impl(matrix: np.ndarray) -> MatrixInfo:
+    dim = matrix.shape[0]
+    k = dim.bit_length() - 1
+
+    # Structure detection is exact (== 0), not tolerance-based: library gate
+    # matrices have exact zeros, and a numerically-noisy fused matrix must
+    # fall through to the dense paths to stay correct.
+    diag = np.diag(matrix)
+    if np.count_nonzero(matrix) == np.count_nonzero(diag) and np.array_equal(
+        np.diag(diag), matrix
+    ):
+        d = np.ascontiguousarray(diag)
+        return MatrixInfo(kind="diagonal", k=k, diagonal=d)
+
+    if np.all(np.count_nonzero(matrix, axis=0) == 1) and np.all(
+        np.count_nonzero(matrix, axis=1) == 1
+    ):
+        cols = np.arange(dim)
+        rows = np.argmax(matrix != 0, axis=0)
+        phases = np.ascontiguousarray(matrix[rows, cols])
+        return MatrixInfo(
+            kind="permutation", k=k, perm=tuple(int(r) for r in rows), phases=phases
+        )
+
+    if k >= 2:
+        eye = np.eye(dim, dtype=matrix.dtype)
+        controls = []
+        for p in range(k):
+            zero = (np.arange(dim) >> p) & 1 == 0
+            if np.array_equal(matrix[zero], eye[zero]) and np.array_equal(
+                matrix[:, zero], eye[:, zero]
+            ):
+                controls.append(p)
+        if controls and len(controls) < k:
+            targets = tuple(p for p in range(k) if p not in controls)
+            all_ones = np.all(
+                [((np.arange(dim) >> p) & 1).astype(bool) for p in controls], axis=0
+            )
+            sel = np.flatnonzero(all_ones)
+            reduced = np.ascontiguousarray(matrix[np.ix_(sel, sel)])
+            reduced_info = _analyze_impl(reduced)
+            if reduced_info.kind in ("diagonal", "permutation", "dense"):
+                return MatrixInfo(
+                    kind="controlled",
+                    k=k,
+                    controls=tuple(controls),
+                    targets=targets,
+                    reduced_matrix=reduced,
+                    reduced_info=reduced_info,
+                )
+
+    if k <= 2:
+        return MatrixInfo(kind="dense", k=k)
+    return MatrixInfo(kind="big", k=k)
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _validate(state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]) -> int:
+    k = len(qubits)
+    n = int(state.size).bit_length() - 1
+    if state.size != 1 << n:
+        raise ValueError("state length is not a power of two")
+    if matrix.shape != (1 << k, 1 << k):
+        raise ValueError(f"matrix shape {matrix.shape} does not match {k} qubits")
+    if any(not 0 <= q < n for q in qubits):
+        raise ValueError(f"qubit indices {qubits} out of range for {n} qubits")
+    if len(set(qubits)) != k:
+        raise ValueError("duplicate qubits")
+    return n
+
+
+def _basis_views(
+    tensor: np.ndarray,
+    n: int,
+    qubits: Sequence[int],
+    fixed: Sequence[tuple[int, int]] = (),
+) -> list[np.ndarray]:
+    """The ``2^k`` sub-views of *tensor* indexed by the basis of *qubits*.
+
+    ``fixed`` pins additional ``(axis, bit)`` pairs (used to restrict to a
+    controlled subspace).  View ``b`` fixes qubit ``qubits[j]`` to bit ``j``
+    of ``b``.
+    """
+    axes = [qubit_axis(n, q) for q in qubits]
+    # Trailing dummy axis so a fully-indexed result is still a (1,)-shaped
+    # writable view rather than a 0-d scalar copy.
+    tensor = tensor.reshape(tensor.shape + (1,))
+    base: list = [slice(None)] * (n + 1)
+    for ax, bit in fixed:
+        base[ax] = bit
+    views = []
+    for b in range(1 << len(qubits)):
+        idx = list(base)
+        for j, ax in enumerate(axes):
+            idx[ax] = (b >> j) & 1
+        views.append(tensor[tuple(idx)])
+    return views
+
+
+def _diag_broadcast(diagonal: np.ndarray, n: int, qubits: Sequence[int]) -> np.ndarray:
+    """Reshape ``2^k`` diagonal entries to broadcast over the state tensor."""
+    k = len(qubits)
+    diag_tensor = diagonal.reshape((2,) * k)
+    # diag index bit k-1 (first axis) is qubits[k-1]; align to state axes.
+    src = list(range(k))
+    dst_axes = [qubit_axis(n, q) for q in reversed(qubits)]
+    order = np.argsort(dst_axes)
+    diag_tensor = np.transpose(diag_tensor, axes=[src[i] for i in order])
+    full_shape = [1] * n
+    for axis in sorted(dst_axes):
+        full_shape[axis] = 2
+    return diag_tensor.reshape(full_shape)
+
+
+# ---------------------------------------------------------------------------
+# Specialized kernels
+# ---------------------------------------------------------------------------
+
+
+def _dense_accumulate(
+    in_views: list[np.ndarray],
+    out_views: list[np.ndarray],
+    matrix: np.ndarray,
+    tmp: np.ndarray,
+) -> None:
+    """``out_views[r] = Σ_c matrix[r, c] · in_views[c]`` with zero-skipping.
+
+    ``out_views`` must not alias ``in_views``; ``tmp`` is a work buffer of
+    the common view shape.
+    """
+    d = len(in_views)
+    for r in range(d):
+        ov = out_views[r]
+        started = False
+        for c in range(d):
+            coef = matrix[r, c]
+            if coef == 0:
+                continue
+            if not started:
+                np.multiply(in_views[c], coef, out=ov)
+                started = True
+            else:
+                np.multiply(in_views[c], coef, out=tmp)
+                ov += tmp
+        if not started:
+            ov[...] = 0
+
+
+def _dense_views_inplace(views: list[np.ndarray], matrix: np.ndarray) -> None:
+    """In-place dense update of basis *views* via a scratch snapshot."""
+    d = len(views)
+    vsize = views[0].size
+    vshape = views[0].shape
+    snap = _scratch(d * vsize, slot=0)
+    snap_views = [snap[c * vsize : (c + 1) * vsize].reshape(vshape) for c in range(d)]
+    for c in range(d):
+        np.copyto(snap_views[c], views[c])
+    tmp = _scratch(vsize, slot=1).reshape(vshape)
+    _dense_accumulate(snap_views, views, matrix, tmp)
+
+
+def _permutation_to_out(
+    in_views: list[np.ndarray],
+    out_views: list[np.ndarray],
+    perm: Sequence[int],
+    phases: np.ndarray,
+) -> None:
+    for c, r in enumerate(perm):
+        if phases[c] == 1:
+            np.copyto(out_views[r], in_views[c])
+        else:
+            np.multiply(in_views[c], phases[c], out=out_views[r])
+
+
+def _permutation_inplace(
+    views: list[np.ndarray], perm: Sequence[int], phases: np.ndarray
+) -> None:
+    """Apply a phased permutation cycle-by-cycle; fixed points are untouched
+    (or phase-scaled), so e.g. an in-place CX only moves half the state."""
+    d = len(views)
+    visited = [False] * d
+    tmp = _scratch(views[0].size, slot=1).reshape(views[0].shape)
+    for start in range(d):
+        if visited[start]:
+            continue
+        cycle = [start]
+        visited[start] = True
+        nxt = perm[start]
+        while nxt != start:
+            cycle.append(nxt)
+            visited[nxt] = True
+            nxt = perm[nxt]
+        if len(cycle) == 1:
+            if phases[start] != 1:
+                views[start] *= phases[start]
+            continue
+        # Amplitudes flow cycle[i] -> cycle[i+1]; walk backwards so each
+        # source is still unmodified when read.
+        last = cycle[-1]
+        np.copyto(tmp, views[last])
+        for i in range(len(cycle) - 1, 0, -1):
+            src, dst = cycle[i - 1], cycle[i]
+            if phases[src] == 1:
+                np.copyto(views[dst], views[src])
+            else:
+                np.multiply(views[src], phases[src], out=views[dst])
+        if phases[last] == 1:
+            np.copyto(views[cycle[0]], tmp)
+        else:
+            np.multiply(tmp, phases[last], out=views[cycle[0]])
+
+
+#: Below this qubit index, a gate is applied by a single right-multiply gemm
+#: with the matrix expanded over all lower index bits (the expanded matrix
+#: stays ≤ 64×64); at or above it, the stacked-matmul post dimension is at
+#: least 2**_GEMM_EDGE and batched matmul runs at streaming speed.
+_GEMM_EDGE = 5
+
+_DENSE_PLAN_CACHE: dict[tuple, tuple] = {}
+_DENSE_PLAN_CACHE_MAX = 4096
+
+
+def _dense_plan(matrix: np.ndarray, n: int, qubits: tuple[int, ...]) -> tuple:
+    """Choose and precompute the gemm strategy for a dense 1q/2q gate.
+
+    All strategies perform the update as one or a few BLAS ``matmul`` calls
+    writing directly into the output buffer — no transpose copies of the
+    state.  Plans (including the prepared small matrices) are memoized per
+    ``(matrix, n, qubits)``; the matrix object is kept referenced so its id
+    stays valid.
+    """
+    key = (id(matrix), n, qubits)
+    hit = _DENSE_PLAN_CACHE.get(key)
+    if hit is not None and hit[0] is matrix:
+        return hit[1]
+    plan = _dense_plan_impl(matrix, n, qubits)
+    if len(_DENSE_PLAN_CACHE) >= _DENSE_PLAN_CACHE_MAX:
+        _DENSE_PLAN_CACHE.clear()
+    _DENSE_PLAN_CACHE[key] = (matrix, plan)
+    return plan
+
+
+def _dense_plan_impl(matrix: np.ndarray, n: int, qubits: tuple[int, ...]) -> tuple:
+    if len(qubits) == 1:
+        q = qubits[0]
+        if q < _GEMM_EDGE:
+            # out_row = state_row @ B^T with B over index bits 0..q.
+            b = expand_matrix(matrix, [q], range(q + 1))
+            return ("gemm_right", np.ascontiguousarray(b.T), 1 << (q + 1))
+        # Batched (2,2) @ (2, post) with post = 2^q.
+        m = np.ascontiguousarray(matrix)
+        return ("stacked", m, 1 << (n - q - 1), 2, 1 << q)
+
+    q0, q1 = sorted(qubits)
+    if q1 < _GEMM_EDGE + 1:
+        b = expand_matrix(matrix, qubits, range(q1 + 1))
+        return ("gemm_right", np.ascontiguousarray(b.T), 1 << (q1 + 1))
+    if q0 >= n - (_GEMM_EDGE + 1):
+        # out_col = B @ state_col with B over index bits q0..n-1.
+        b = expand_matrix(matrix, [q - q0 for q in qubits], range(n - q0))
+        return ("gemm_left", np.ascontiguousarray(b), 1 << (n - q0))
+    if q1 == q0 + 1:
+        # Adjacent bits merge into one length-4 axis; reorder the matrix so
+        # its high index bit is the high qubit.
+        m = matrix
+        if qubits[0] == q1:
+            m = matrix.reshape(2, 2, 2, 2).transpose(1, 0, 3, 2).reshape(4, 4)
+        return ("stacked", np.ascontiguousarray(m), 1 << (n - q1 - 1), 4, 1 << q0)
+    # Non-adjacent: block over the high qubit (outer axis, so each block is
+    # a reshapeable view) and contract the low qubit inside each block.
+    g = matrix.reshape(2, 2, 2, 2)  # (out_b1, out_b0, in_b1, in_b0)
+    if qubits[1] == q1:
+        blocks = [[g[a, :, c, :] for c in (0, 1)] for a in (0, 1)]
+    else:
+        blocks = [[g[:, a, :, c] for c in (0, 1)] for a in (0, 1)]
+    pre = 1 << (n - q1 - 1)
+    if q0 >= _GEMM_EDGE:
+        mats = [[np.ascontiguousarray(blocks[a][c]) for c in (0, 1)] for a in (0, 1)]
+        return ("split_stacked", mats, pre, 1 << (q1 - q0 - 1), 1 << q0)
+    cols = 1 << (q0 + 1)
+    bts = [
+        [
+            np.ascontiguousarray(expand_matrix(blocks[a][c], [q0], range(q0 + 1)).T)
+            for c in (0, 1)
+        ]
+        for a in (0, 1)
+    ]
+    return ("split_gemm", bts, pre, (1 << q1) // cols, cols)
+
+
+def _dense_small_to_out(
+    state: np.ndarray,
+    out: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    n: int,
+) -> None:
+    """Dense 1q/2q update via BLAS matmul, writing straight into *out*."""
+    plan = _dense_plan(matrix, n, tuple(qubits))
+    kind = plan[0]
+    if kind == "gemm_right":
+        _, bt, cols = plan
+        np.matmul(state.reshape(-1, cols), bt, out=out.reshape(-1, cols))
+    elif kind == "gemm_left":
+        _, b, rows = plan
+        np.matmul(b, state.reshape(rows, -1), out=out.reshape(rows, -1))
+    elif kind == "stacked":
+        _, m, pre, d, post = plan
+        np.matmul(m, state.reshape(pre, d, post), out=out.reshape(pre, d, post))
+    elif kind == "split_stacked":
+        _, mats, pre, mid, post = plan
+        src = state.reshape(pre, 2, mid, 2, post)
+        dst = out.reshape(pre, 2, mid, 2, post)
+        tmp = _scratch(pre * mid * 2 * post, slot=1).reshape(pre, mid, 2, post)
+        for a in (0, 1):
+            dst_a = dst[:, a]
+            np.matmul(mats[a][0], src[:, 0], out=dst_a)
+            np.matmul(mats[a][1], src[:, 1], out=tmp)
+            dst_a += tmp
+    else:  # split_gemm
+        _, bts, pre, mid, cols = plan
+        src = state.reshape(pre, 2, mid, cols)
+        dst = out.reshape(pre, 2, mid, cols)
+        tmp = _scratch(pre * mid * cols, slot=1).reshape(pre, mid, cols)
+        for a in (0, 1):
+            dst_a = dst[:, a]
+            np.matmul(src[:, 0], bts[a][0], out=dst_a)
+            np.matmul(src[:, 1], bts[a][1], out=tmp)
+            dst_a += tmp
+
+
+def _big_to_out(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    n: int,
+    out: np.ndarray | None,
+) -> np.ndarray:
+    """Reference tensordot contraction (k ≥ 3 dense fallback)."""
+    k = len(qubits)
+    tensor = state.reshape((2,) * n)
+    gate_tensor = np.ascontiguousarray(matrix).reshape((2,) * (2 * k))
+    # Contract gate input axes with the state axes of the target qubits.
+    # Matrix tensor axis order is (out_{k-1},...,out_0, in_{k-1},...,in_0):
+    # the most-significant matrix bit comes first in C order.
+    axes = [qubit_axis(n, q) for q in reversed(qubits)]
+    # tensordot allocates its state-sized result (plus internal transpose
+    # workspace); record it so the allocation log stays honest — the k >= 3
+    # fallback is the one dispatch path that is not allocation-free.
+    _ALLOCATION_LOG.append(int(state.size))
+    result = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+    result = np.moveaxis(result, range(k), axes)
+    if out is None:
+        return np.ascontiguousarray(result).reshape(-1)
+    # tensordot produced a fresh array, so writing into out is safe even
+    # when out is state.
+    np.copyto(out.reshape(result.shape), result)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Public application functions
+# ---------------------------------------------------------------------------
+
+
+def _single_gemm_plannable(qubits: Sequence[int], n: int) -> bool:
+    """True when the dense 1q/2q planner covers *qubits* with one gemm."""
+    if len(qubits) == 1:
+        return True
+    q0, q1 = sorted(qubits)
+    return q1 <= _GEMM_EDGE or q0 >= n - (_GEMM_EDGE + 1) or q1 == q0 + 1
+
+
+def _effective_kind(info: MatrixInfo, qubits: Sequence[int], n: int) -> str:
+    """Position-aware dispatch refinement (measured on 20-qubit states).
+
+    The slice-based structured kernels operate on views whose contiguous
+    runs have length ``2^min(qubits)``; for very low positions a streaming
+    BLAS gemm beats them.  Permutation cycles tolerate short runs well
+    (they are plain strided copies), so they reroute only at the very
+    bottom; controlled subspace updates reroute whenever the dense planner
+    has a single-gemm strategy for the position pair.
+    """
+    if info.k > 2 or info.kind in ("diagonal", "dense", "big"):
+        return info.kind
+    if info.kind == "permutation":
+        if max(qubits) <= 2:
+            return "dense"
+        return info.kind
+    # controlled
+    if _single_gemm_plannable(qubits, n):
+        return "dense"
+    return info.kind
+
+
+def _inplace_preferred(info: MatrixInfo, qubits: Sequence[int], n: int) -> bool:
+    """Whether in-place application beats streaming into a second buffer."""
+    return info.kind == "diagonal" or _effective_kind(info, qubits, n) in (
+        "permutation",
+        "controlled",
+    )
+
+
+def apply_matrix_reference(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply a unitary via the dense tensordot contraction, unconditionally.
+
+    This is the seed implementation of :func:`apply_matrix`, kept as the
+    correctness oracle for the specialized kernels and as the baseline the
+    benchmarks measure speedups against.  Same ``out`` contract as
+    :func:`apply_matrix`.
+    """
+    n = _validate(state, matrix, qubits)
+    return _big_to_out(state, matrix, qubits, n, out)
 
 
 def apply_matrix(
@@ -48,83 +608,223 @@ def apply_matrix(
     Parameters
     ----------
     state:
-        Flat complex array of length ``2^n`` (not modified).
+        Flat complex array of length ``2^n``.  Never modified unless
+        ``out is state``.
     matrix:
-        Little-endian unitary over *qubits*.
+        Little-endian unitary over *qubits*; must not be mutated later
+        (dispatch analysis is memoized per matrix object).
     qubits:
         Target qubit indices; ``qubits[0]`` is the least-significant bit of
         the matrix index.
     out:
-        Ignored (kept for API symmetry); a new array is always returned
-        because :func:`numpy.tensordot` allocates its result.
+        Output buffer (see the module docstring for the full contract):
+        ``None`` allocates, a distinct same-size array receives the result,
+        and ``out is state`` updates in place.
 
     Returns
     -------
     numpy.ndarray
-        The transformed state, flat, C-contiguous.
+        The array holding the transformed state: ``out`` when provided,
+        otherwise a new C-contiguous array.
     """
-    k = len(qubits)
-    n = int(np.log2(state.size))
-    if state.size != 1 << n:
-        raise ValueError("state length is not a power of two")
-    if matrix.shape != (1 << k, 1 << k):
+    n = _validate(state, matrix, qubits)
+    if out is not None and out.size != state.size:
         raise ValueError(
-            f"matrix shape {matrix.shape} does not match {k} qubits"
+            f"out has {out.size} amplitudes, expected {state.size}"
         )
-    if any(not 0 <= q < n for q in qubits):
-        raise ValueError(f"qubit indices {qubits} out of range for {n} qubits")
-    if len(set(qubits)) != k:
-        raise ValueError("duplicate qubits")
+    info = analyze_matrix(matrix)
+    inplace = out is state
+    kind = _effective_kind(info, qubits, n)
+
+    if kind == "big" or (kind == "dense" and inplace):
+        # In-place dense: snapshot the state into scratch, then stream back.
+        if kind == "dense":
+            snap = _scratch(state.size, slot=0)
+            np.copyto(snap, state)
+            _dense_small_to_out(snap, state, matrix, qubits, n)
+            return state
+        return _big_to_out(state, matrix, qubits, n, out)
+
+    if out is None:
+        out = tracked_empty(state.size)
+
+    if kind == "dense":
+        _dense_small_to_out(state, out, matrix, qubits, n)
+        return out
 
     tensor = state.reshape((2,) * n)
-    gate_tensor = np.ascontiguousarray(matrix).reshape((2,) * (2 * k))
-    # Contract gate input axes with the state axes of the target qubits.
-    # Matrix tensor axis order is (out_{k-1},...,out_0, in_{k-1},...,in_0):
-    # the most-significant matrix bit comes first in C order.
-    axes = [qubit_axis(n, q) for q in reversed(qubits)]
-    result = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
-    # The gate's output axes are now the first k axes (in the same
-    # most-significant-first order); move them back into place.
-    result = np.moveaxis(result, range(k), axes)
-    return np.ascontiguousarray(result).reshape(-1)
+    if kind == "diagonal":
+        diag_b = _diag_broadcast(info.diagonal, n, qubits)
+        if inplace:
+            tensor *= diag_b
+        else:
+            np.multiply(tensor, diag_b, out=out.reshape(tensor.shape))
+        return state if inplace else out
+
+    if kind == "permutation":
+        if inplace:
+            views = _basis_views(tensor, n, qubits)
+            _permutation_inplace(views, info.perm, info.phases)
+            return state
+        out_tensor = out.reshape(tensor.shape)
+        in_views = _basis_views(tensor, n, qubits)
+        out_views = _basis_views(out_tensor, n, qubits)
+        _permutation_to_out(in_views, out_views, info.perm, info.phases)
+        return out
+
+    # Controlled: identity outside the all-controls-1 subspace.
+    ctrl_axes = [qubit_axis(n, qubits[p]) for p in info.controls]
+    fixed = [(ax, 1) for ax in ctrl_axes]
+    target_qubits = [qubits[p] for p in info.targets]
+    red = info.reduced_info
+    if inplace:
+        if (
+            len(info.controls) == 1
+            and len(info.targets) == 1
+            and red.kind == "dense"
+            and target_qubits[0] < qubits[info.controls[0]]
+        ):
+            _controlled_gather_gemm_inplace(
+                state, n, qubits[info.controls[0]], target_qubits[0],
+                info.reduced_matrix,
+            )
+            return state
+        views = _basis_views(tensor, n, target_qubits, fixed)
+        _apply_reduced_inplace(views, red, info.reduced_matrix)
+        return state
+    out_tensor = out.reshape(tensor.shape)
+    # Copy the untouched complement (any control bit 0) slice by slice.
+    c = len(ctrl_axes)
+    for assign in range((1 << c) - 1):
+        idx: list = [slice(None)] * n
+        for j, ax in enumerate(ctrl_axes):
+            idx[ax] = (assign >> j) & 1
+        np.copyto(out_tensor[tuple(idx)], tensor[tuple(idx)])
+    in_views = _basis_views(tensor, n, target_qubits, fixed)
+    out_views = _basis_views(out_tensor, n, target_qubits, fixed)
+    _apply_reduced_to_out(in_views, out_views, red, info.reduced_matrix)
+    return out
+
+
+def _controlled_gather_gemm_inplace(
+    state: np.ndarray,
+    n: int,
+    control_qubit: int,
+    target_qubit: int,
+    reduced_matrix: np.ndarray,
+) -> None:
+    """In-place controlled-1q update via gather + one streaming gemm.
+
+    The control-1 subspace (a strided half-state view whose rows are the
+    contiguous low ``2^control_qubit`` blocks) is compacted into scratch,
+    then the target unitary is applied with a single batched matmul writing
+    straight back into the strided view.  Requires ``target < control`` so
+    the target bit lives inside the contiguous rows.
+    """
+    pre_c, post_c = 1 << (n - 1 - control_qubit), 1 << control_qubit
+    subspace = state.reshape(pre_c, 2, post_c)[:, 1, :]
+    compact = _scratch(pre_c * post_c, slot=0).reshape(pre_c, post_c)
+    np.copyto(compact, subspace)
+    # Each compact row is a `control_qubit`-qubit sub-state with the target
+    # at its original position; reuse the dense 1q gemm planner on it.
+    plan = _dense_plan(reduced_matrix, control_qubit, (target_qubit,))
+    if plan[0] == "gemm_right":
+        _, bt, cols = plan
+        shape = (pre_c, post_c // cols, cols)
+        np.matmul(compact.reshape(shape), bt, out=subspace.reshape(shape))
+    else:  # stacked
+        _, m, pre_t, _, post_t = plan
+        shape = (pre_c, pre_t, 2, post_t)
+        np.matmul(m, compact.reshape(shape), out=subspace.reshape(shape))
+
+
+def _apply_reduced_to_out(
+    in_views: list[np.ndarray],
+    out_views: list[np.ndarray],
+    red: MatrixInfo,
+    reduced_matrix: np.ndarray,
+) -> None:
+    if red.kind == "diagonal":
+        for b, view in enumerate(in_views):
+            np.multiply(view, red.diagonal[b], out=out_views[b])
+    elif red.kind == "permutation":
+        _permutation_to_out(in_views, out_views, red.perm, red.phases)
+    else:
+        tmp = _scratch(in_views[0].size, slot=1).reshape(in_views[0].shape)
+        _dense_accumulate(in_views, out_views, reduced_matrix, tmp)
+
+
+def _apply_reduced_inplace(
+    views: list[np.ndarray], red: MatrixInfo, reduced_matrix: np.ndarray
+) -> None:
+    if red.kind == "diagonal":
+        for b, view in enumerate(views):
+            if red.diagonal[b] != 1:
+                view *= red.diagonal[b]
+    elif red.kind == "permutation":
+        _permutation_inplace(views, red.perm, red.phases)
+    else:
+        _dense_views_inplace(views, reduced_matrix)
 
 
 def apply_diagonal(
-    state: np.ndarray, diagonal: np.ndarray, qubits: Sequence[int]
+    state: np.ndarray,
+    diagonal: np.ndarray,
+    qubits: Sequence[int],
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Apply a diagonal gate given by its ``2^k`` diagonal entries in place.
+    """Apply a diagonal gate given by its ``2^k`` diagonal entries.
 
     Diagonal gates multiply each amplitude by a phase that depends only on
-    the bits of the target qubits, so they can be applied with a broadcasted
-    elementwise multiply — no data movement.
+    the bits of the target qubits — a single broadcasted elementwise
+    multiply, no data movement.  Same ``out`` contract as
+    :func:`apply_matrix`: pass ``out=state`` for the in-place update (the
+    historical behaviour of this function), ``out=None`` for a pure call.
     """
     k = len(qubits)
-    n = int(np.log2(state.size))
+    n = int(state.size).bit_length() - 1
+    if state.size != 1 << n:
+        raise ValueError("state length is not a power of two")
     if diagonal.size != 1 << k:
         raise ValueError("diagonal length does not match qubit count")
     tensor = state.reshape((2,) * n)
-    # Build a broadcastable phase tensor: shape 2 along each target axis,
-    # 1 elsewhere.
-    shape = [1] * n
-    for q in qubits:
-        shape[qubit_axis(n, q)] = 2
-    diag_tensor = diagonal.reshape((2,) * k)
-    # diag index bit k-1 (first axis) is qubits[k-1]; align to state axes.
-    src = list(range(k))
-    dst_axes = [qubit_axis(n, q) for q in reversed(qubits)]
-    order = np.argsort(dst_axes)
-    # Permute diag axes so they appear in increasing state-axis order, then
-    # reshape with broadcasting 1s in between.
-    diag_tensor = np.transpose(diag_tensor, axes=[src[i] for i in order])
-    full_shape = [1] * n
-    for axis in sorted(dst_axes):
-        full_shape[axis] = 2
-    tensor *= diag_tensor.reshape(full_shape)
-    return state
+    diag_b = _diag_broadcast(diagonal, n, qubits)
+    if out is state:
+        tensor *= diag_b
+        return state
+    if out is None:
+        out = tracked_empty(state.size)
+    elif out.size != state.size:
+        raise ValueError(f"out has {out.size} amplitudes, expected {state.size}")
+    np.multiply(tensor, diag_b, out=out.reshape(tensor.shape))
+    return out
+
+
+def apply_gate_buffered(
+    state: np.ndarray,
+    scratch: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ping-pong gate application: returns ``(new_state, new_scratch)``.
+
+    Structured gates on high qubit positions run in place on *state*
+    (touching only the amplitudes they move); everything else streams
+    *state* into *scratch* and the buffers swap roles.  Callers must thread
+    both returned arrays into the next call — after a swap the old
+    ``state`` array holds stale data.
+    """
+    info = analyze_matrix(matrix)
+    n = int(state.size).bit_length() - 1
+    if _inplace_preferred(info, qubits, n):
+        apply_matrix(state, matrix, qubits, out=state)
+        return state, scratch
+    apply_matrix(state, matrix, qubits, out=scratch)
+    return scratch, state
 
 
 def apply_permutation_x(state: np.ndarray, qubit: int) -> np.ndarray:
-    """Apply an X (bit-flip) on *qubit* by swapping slices — returns a new view-copy."""
+    """Apply an X (bit-flip) on *qubit* by swapping slices — returns a new array."""
     n = int(np.log2(state.size))
     tensor = state.reshape((2,) * n)
     axis = qubit_axis(n, qubit)
@@ -138,7 +838,7 @@ def expand_matrix(
 
     ``target_qubits`` must be a superset of ``gate_qubits``.  The returned
     matrix is little-endian over ``target_qubits`` and acts as the identity
-    on the extra qubits.  This is the primitive used by kernel fusion.
+    on the extra qubits.
     """
     target = list(target_qubits)
     missing = [q for q in gate_qubits if q not in target]
@@ -155,19 +855,16 @@ def expand_matrix(
     out = np.zeros((dim, dim), dtype=np.complex128)
 
     other_pos = [p for p in range(m) if p not in pos]
-    # Enumerate the 2^k × 2^k blocks: for every assignment of the
-    # non-gate bits, place the gate matrix on the corresponding sub-indices.
     gate_dim = 1 << k
-    # Precompute index contributions.
+    # Index contribution of the gate bits and of every non-gate assignment;
+    # one broadcasted fancy assignment places all 2^(m-k) diagonal blocks.
     row_idx = np.zeros(gate_dim, dtype=np.int64)
     for bit_k in range(k):
-        mask = ((np.arange(gate_dim) >> bit_k) & 1).astype(np.int64)
-        row_idx += mask << pos[bit_k]
-    for rest in range(1 << len(other_pos)):
-        base = 0
-        for j, p in enumerate(other_pos):
-            if (rest >> j) & 1:
-                base |= 1 << p
-        rows = row_idx + base
-        out[np.ix_(rows, rows)] = matrix
+        row_idx |= (((np.arange(gate_dim) >> bit_k) & 1) << pos[bit_k]).astype(np.int64)
+    rest_count = 1 << len(other_pos)
+    rest_idx = np.zeros(rest_count, dtype=np.int64)
+    for j, p in enumerate(other_pos):
+        rest_idx |= (((np.arange(rest_count) >> j) & 1) << p).astype(np.int64)
+    rows = rest_idx[:, None] + row_idx[None, :]
+    out[rows[:, :, None], rows[:, None, :]] = matrix
     return out

@@ -14,7 +14,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..circuits.gates import Gate
-from .apply import apply_diagonal, apply_matrix
+from .apply import apply_diagonal, apply_gate_buffered, tracked_empty
 
 __all__ = ["StateVector"]
 
@@ -37,6 +37,9 @@ class StateVector:
                     f"data has {data.size} amplitudes, expected {dim}"
                 )
             self._data = np.ascontiguousarray(data.reshape(-1))
+        # Ping-pong partner for dense gate application; allocated lazily so
+        # read-only uses (sampling, fidelity checks) stay at one buffer.
+        self._scratch: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -72,7 +75,13 @@ class StateVector:
 
     @property
     def data(self) -> np.ndarray:
-        """The underlying flat amplitude array (a view, not a copy)."""
+        """The underlying flat amplitude array (a view, not a copy).
+
+        Gate application ping-pongs between two internal buffers, so any
+        array obtained here is invalidated by the next mutating call
+        (``apply_gate``/``apply_matrix``/``apply_circuit``): it may end up
+        holding scratch contents.  Copy it if you need a stable snapshot.
+        """
         return self._data
 
     def copy(self) -> "StateVector":
@@ -94,18 +103,26 @@ class StateVector:
     # Gate application
     # ------------------------------------------------------------------
 
+    def _ensure_scratch(self) -> np.ndarray:
+        if self._scratch is None or self._scratch.size != self._data.size:
+            self._scratch = tracked_empty(self._data.size)
+        return self._scratch
+
     def apply_gate(self, gate: Gate) -> "StateVector":
         """Apply *gate* (logical qubit indices) to this state in place."""
-        matrix = gate.matrix()
         if gate.is_diagonal():
-            apply_diagonal(self._data, np.diag(matrix).copy(), gate.qubits)
+            apply_diagonal(self._data, gate.diagonal(), gate.qubits, out=self._data)
         else:
-            self._data = apply_matrix(self._data, matrix, gate.qubits)
+            self._data, self._scratch = apply_gate_buffered(
+                self._data, self._ensure_scratch(), gate.matrix(), gate.qubits
+            )
         return self
 
     def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "StateVector":
         """Apply an arbitrary unitary on *qubits* in place."""
-        self._data = apply_matrix(self._data, matrix, qubits)
+        self._data, self._scratch = apply_gate_buffered(
+            self._data, self._ensure_scratch(), matrix, qubits
+        )
         return self
 
     def apply_circuit(self, gates: Iterable[Gate]) -> "StateVector":
@@ -140,11 +157,21 @@ class StateVector:
         return float(marg[0] - marg[1])
 
     def sample(self, shots: int, seed: int = 0) -> np.ndarray:
-        """Sample basis-state indices according to the Born rule."""
+        """Sample basis-state indices according to the Born rule.
+
+        The distribution is normalized and scanned once (cumulative sum +
+        ``searchsorted``) regardless of the shot count, instead of the
+        per-call re-normalization ``rng.choice(p=...)`` performs.
+        """
         rng = np.random.default_rng(seed)
-        probs = self.probabilities()
-        probs = probs / probs.sum()
-        return rng.choice(len(probs), size=shots, p=probs)
+        cdf = np.cumsum(self.probabilities())
+        if cdf[-1] <= 0.0:
+            raise ValueError("cannot sample from a zero-norm state")
+        uniform = rng.random(shots) * cdf[-1]
+        # A draw landing exactly on cdf[-1] would index past the end.
+        return np.minimum(
+            np.searchsorted(cdf, uniform, side="right"), len(cdf) - 1
+        )
 
     # ------------------------------------------------------------------
     # Comparison

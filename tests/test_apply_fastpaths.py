@@ -1,0 +1,264 @@
+"""Randomized equivalence suite for the specialized gate-application paths.
+
+Every dispatch path of :mod:`repro.sim.apply` (diagonal, permutation,
+controlled, dense-gemm variants, tensordot fallback, fused kernels) is
+checked against the tensordot reference (:func:`apply_matrix_reference`)
+on random states, under all three ``out`` modes of the buffer contract.
+An allocation regression test pins the O(1)-state-sized-allocations
+property of :func:`repro.runtime.execute_plan`.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import gate_matrix, make_gate
+from repro.circuits.library import qft, random_circuit
+from repro.cluster import MachineConfig
+from repro.core import partition
+from repro.runtime import execute_plan
+from repro.sim import (
+    StateVector,
+    apply_gate_buffered,
+    apply_matrix,
+    apply_matrix_reference,
+    expand_matrix,
+    fused_unitary,
+    fused_unitary_cached,
+    simulate_reference,
+)
+from repro.sim import apply as apply_mod
+
+
+def _random_state(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    state = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    return state / np.linalg.norm(state)
+
+
+def _random_unitary(dim: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    raw = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    unitary, _ = np.linalg.qr(raw)
+    return unitary
+
+
+#: (gate name, params, expected dispatch kind) — one exemplar per path.
+PATH_CASES = [
+    ("rz", (0.7,), "diagonal"),
+    ("cz", (), "diagonal"),
+    ("cp", (1.1,), "diagonal"),
+    ("ccz", (), "diagonal"),
+    ("x", (), "permutation"),
+    ("y", (), "permutation"),
+    ("cx", (), "permutation"),
+    ("swap", (), "permutation"),
+    ("ccx", (), "permutation"),
+    ("cswap", (), "permutation"),
+    ("ch", (), "controlled"),
+    ("crx", (0.8,), "controlled"),
+    ("cry", (0.4,), "controlled"),
+    ("h", (), "dense"),
+    ("u3", (0.3, 0.9, 0.2), "dense"),
+    ("rxx", (0.5,), "dense"),
+    ("ryy", (0.6,), "dense"),
+]
+
+
+class TestDispatchClassification:
+    @pytest.mark.parametrize("name,params,kind", PATH_CASES)
+    def test_gate_matrices_hit_their_specialized_path(self, name, params, kind):
+        info = apply_mod.analyze_matrix(gate_matrix(name, params))
+        assert info.kind == kind
+
+    def test_wide_dense_matrix_falls_back_to_tensordot(self):
+        info = apply_mod.analyze_matrix(_random_unitary(8, seed=0))
+        assert info.kind == "big"
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("name,params,kind", PATH_CASES)
+    def test_matches_reference_in_all_out_modes(self, name, params, kind):
+        matrix = gate_matrix(name, params)
+        k = int(np.log2(matrix.shape[0]))
+        n = 7
+        rng = np.random.default_rng(hash(name) % 2**32)
+        for trial in range(4):
+            qubits = list(rng.choice(n, size=k, replace=False))
+            state = _random_state(n, seed=trial)
+            reference = apply_matrix_reference(state, matrix, qubits)
+
+            before = state.copy()
+            pure = apply_matrix(state, matrix, qubits)
+            assert np.allclose(state, before), "out=None must not modify state"
+            assert np.allclose(pure, reference)
+
+            buffer = np.empty_like(state)
+            returned = apply_matrix(state, matrix, qubits, out=buffer)
+            assert returned is buffer
+            assert np.allclose(buffer, reference)
+            assert np.allclose(state, before), "out=buffer must not modify state"
+
+            inplace = state.copy()
+            returned = apply_matrix(inplace, matrix, qubits, out=inplace)
+            assert returned is inplace
+            assert np.allclose(inplace, reference)
+
+    def test_dense_1q_all_positions(self):
+        unitary = _random_unitary(2, seed=3)
+        for n in (2, 5, 9):
+            state = _random_state(n, seed=n)
+            for q in range(n):
+                reference = apply_matrix_reference(state, unitary, [q])
+                assert np.allclose(apply_matrix(state, unitary, [q]), reference)
+
+    def test_dense_2q_all_pairs(self):
+        # n=12 reaches the split_stacked/split_gemm plans (they need a
+        # non-adjacent pair with q0 below the gemm edge and q1 above it).
+        unitary = _random_unitary(4, seed=4)
+        for n in (3, 6, 9, 12):
+            state = _random_state(n, seed=n)
+            for qubits in itertools.permutations(range(n), 2):
+                reference = apply_matrix_reference(state, unitary, list(qubits))
+                got = apply_matrix(state, unitary, list(qubits))
+                assert np.allclose(got, reference), (n, qubits)
+
+    def test_controlled_all_pairs_wide_register(self):
+        # n=13 exercises the gather-gemm controlled subspace path (target
+        # below control, non-single-gemm positions) and the strided
+        # structured fallback (target above control).
+        matrix = gate_matrix("ch")
+        n = 13
+        state = _random_state(n, seed=0)
+        for qubits in itertools.permutations(range(n), 2):
+            reference = apply_matrix_reference(state, matrix, list(qubits))
+            inplace = state.copy()
+            apply_matrix(inplace, matrix, list(qubits), out=inplace)
+            assert np.allclose(inplace, reference), qubits
+            buffer = np.empty_like(state)
+            apply_matrix(state, matrix, list(qubits), out=buffer)
+            assert np.allclose(buffer, reference), qubits
+
+    def test_out_size_mismatch_raises(self):
+        state = _random_state(4, seed=0)
+        with pytest.raises(ValueError):
+            apply_matrix(state, gate_matrix("h"), [0], out=np.empty(8, complex))
+
+
+class TestBufferedApplication:
+    def test_random_circuit_matches_reference(self):
+        circuit = random_circuit(7, 80, seed=11)
+        state = _random_state(7, seed=42)
+        buffered = state.copy()
+        scratch = np.empty_like(state)
+        reference = state.copy()
+        for gate in circuit.gates:
+            buffered, scratch = apply_gate_buffered(
+                buffered, scratch, gate.matrix(), gate.qubits
+            )
+            reference = apply_matrix_reference(
+                reference, gate.matrix(), gate.qubits
+            )
+        assert np.allclose(buffered, reference)
+
+    def test_statevector_matches_reference_simulator(self):
+        circuit = random_circuit(6, 60, seed=5)
+        via_statevector = StateVector.zero_state(6).apply_circuit(circuit.gates)
+        assert simulate_reference(circuit).allclose(via_statevector)
+
+
+class TestFusedUnitary:
+    def test_matches_expand_matrix_product(self):
+        circuit = random_circuit(5, 30, seed=7)
+        fused, qubits = fused_unitary(circuit.gates)
+        seed_style = np.eye(1 << len(qubits), dtype=np.complex128)
+        for gate in circuit.gates:
+            seed_style = expand_matrix(gate.matrix(), gate.qubits, qubits) @ seed_style
+        assert np.allclose(fused, seed_style)
+
+    def test_cached_variant_shares_one_instance(self):
+        gates = (make_gate("h", [0]), make_gate("cx", [1, 0]))
+        m1, q1 = fused_unitary_cached(gates)
+        m2, q2 = fused_unitary_cached(gates)
+        assert m1 is m2 and q1 == q2
+        assert not m1.flags.writeable
+        fresh, _ = fused_unitary(list(gates))
+        assert np.allclose(m1, fresh)
+
+
+class TestAllocationRegression:
+    def test_execute_plan_state_allocations_are_constant(self):
+        """A warm plan execution allocates the ping-pong buffer pair plus
+        one tensordot workspace per wide (k >= 3) fused-kernel application —
+        never O(#gates)."""
+        n = 10
+        circuit = qft(n)
+        machine = MachineConfig.for_circuit(n, num_gpus=4, local_qubits=n - 2)
+        plan, _ = partition(circuit, machine)
+
+        # Warm run: populates the scratch pool and the fused-unitary cache.
+        execute_plan(plan)
+
+        # Kernel applications that go through the k>=3 tensordot fallback
+        # each log one state-sized workspace allocation.
+        big_applications = 0
+        for stage in plan.stages:
+            for kernel in stage.kernels or []:
+                matrix, _ = fused_unitary_cached(kernel.gates)
+                info = apply_mod.analyze_matrix(matrix)
+                if info.kind == "big":
+                    big_applications += 1
+
+        apply_mod.reset_allocation_log()
+        result, _ = execute_plan(plan)
+        log = apply_mod.allocation_log()
+        state_sized = [size for size in log if size >= 1 << n]
+        budget = 2 + big_applications
+        assert len(state_sized) <= budget, (
+            f"expected ping-pong pair + {big_applications} tensordot "
+            f"workspaces, got {len(state_sized)} state-sized allocations: "
+            f"{state_sized}"
+        )
+        # The bound must not scale with the gate count (qft(10) has 55+
+        # gates but only a handful of kernels).
+        assert budget < len(circuit) // 2
+        assert len(log) <= budget + 6, f"engine allocation count grew: {log}"
+        assert simulate_reference(circuit).allclose(result)
+
+    def test_gate_count_does_not_scale_allocations(self):
+        n = 8
+        logs = []
+        for num_gates in (20, 200):
+            circuit = random_circuit(n, num_gates, seed=1)
+            state = _random_state(n, seed=2)
+            buf = state.copy()
+            scratch = np.empty_like(state)
+            # Warm the analysis/scratch caches with one pass.
+            for gate in circuit.gates:
+                buf, scratch = apply_gate_buffered(
+                    buf, scratch, gate.matrix(), gate.qubits
+                )
+            apply_mod.reset_allocation_log()
+            for gate in circuit.gates:
+                buf, scratch = apply_gate_buffered(
+                    buf, scratch, gate.matrix(), gate.qubits
+                )
+            logs.append(len(apply_mod.allocation_log()))
+        assert logs[1] == logs[0] == 0, logs
+
+
+class TestSampling:
+    def test_sample_distribution_and_determinism(self):
+        state = simulate_reference(qft(5))
+        a = state.sample(2000, seed=3)
+        b = state.sample(2000, seed=3)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 32
+        # QFT of |0..0> is uniform; the empirical mean of uniform [0,32) is ~15.5.
+        assert 13.0 < a.mean() < 18.0
+
+    def test_sample_matches_probabilities(self):
+        state = simulate_reference(qft(3))
+        counts = np.bincount(state.sample(20000, seed=0), minlength=8) / 20000
+        assert np.allclose(counts, state.probabilities(), atol=0.02)

@@ -88,8 +88,16 @@ class TestApplyDiagonal:
         state = StateVector.random_state(n, seed=5).data
         expected = apply_matrix(state, rz, [1])
         inplace = state.copy()
-        apply_diagonal(inplace, np.diag(rz).copy(), [1])
+        apply_diagonal(inplace, np.diag(rz).copy(), [1], out=inplace)
         assert np.allclose(inplace, expected)
+
+    def test_pure_call_leaves_input_unmodified(self):
+        rz = gate_matrix("rz", [0.7])
+        state = StateVector.random_state(3, seed=5).data
+        before = state.copy()
+        result = apply_diagonal(state, np.diag(rz).copy(), [1])
+        assert np.allclose(state, before)
+        assert np.allclose(result, apply_matrix(state, rz, [1]))
 
     def test_matches_full_matrix_two_qubit(self):
         n = 4
@@ -98,7 +106,7 @@ class TestApplyDiagonal:
             state = StateVector.random_state(n, seed=6).data
             expected = apply_matrix(state, cp, qubits)
             inplace = state.copy()
-            apply_diagonal(inplace, np.diag(cp).copy(), qubits)
+            apply_diagonal(inplace, np.diag(cp).copy(), qubits, out=inplace)
             assert np.allclose(inplace, expected), qubits
 
     def test_wrong_length_raises(self):
