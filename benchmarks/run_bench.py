@@ -13,7 +13,14 @@ preserves:
   QFT benchmark circuit (the paper's QFT-28 shape at a configurable size)
   versus a faithful re-implementation of the seed executor;
 * **allocations** — engine allocation counts for a warm plan execution
-  (the O(1)-state-sized-allocations property).
+  (the O(1)-state-sized-allocations property);
+* **offload** — the shard-streaming runtime: sequential
+  :func:`repro.runtime.execute_plan_offloaded` versus the parallel
+  shard scheduler at 1/2/4 workers (bit-exactness checked), plus the
+  ``run_batch`` heavy-traffic scenario versus one-shot execution.  The
+  host's ``cpu_count`` is recorded next to the timings: thread-parallel
+  speedup is bounded by the cores actually available, so compare parallel
+  numbers only across runs on comparable hosts.
 
 Usage::
 
@@ -29,7 +36,9 @@ check runs under ``pytest -m bench`` (see ``test_simcore_micro.py``).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -45,9 +54,15 @@ import numpy as np
 from repro.circuits.library import qft
 from repro.cluster import MachineConfig
 from repro.core import partition
-from repro.runtime import execute_plan
+from repro.runtime import (
+    ParallelRuntime,
+    execute_plan,
+    execute_plan_offloaded,
+    execute_plan_parallel,
+    model_simulation_time,
+)
 from repro.runtime.sharding import QubitLayout, permute_state
-from repro.sim import apply_matrix_reference, expand_matrix, kernel_qubits
+from repro.sim import StateVector, apply_matrix_reference, expand_matrix, kernel_qubits
 from repro.sim import apply as apply_mod
 from repro.sim.apply import apply_gate_buffered, apply_matrix
 from repro.circuits.gates import gate_matrix
@@ -229,6 +244,104 @@ def run_plan(num_qubits: int, repeats: int = 3) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Shard-streaming (offload) runtime benchmark
+# ---------------------------------------------------------------------------
+
+
+def run_offload(
+    num_qubits: int,
+    repeats: int = 3,
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    batch_size: int = 4,
+) -> dict:
+    """Sequential vs parallel shard-streaming execution of a QFT plan.
+
+    The machine splits the state into ``2^4 = 16`` DRAM shards streamed
+    through 4 physical GPUs, so the parallel scheduler runs its full
+    multi-pass pipeline.  Each parallel measurement reuses one warm
+    :class:`ParallelRuntime`; the ``batch`` entry compares
+    :meth:`ParallelRuntime.run_batch` (pool, buffers and segmentation
+    shared across problems) against one-shot runs of the same problems.
+    """
+    circuit = qft(num_qubits)
+    machine = MachineConfig.for_circuit(
+        num_qubits, num_gpus=4, local_qubits=num_qubits - 4
+    )
+    plan, _ = partition(circuit, machine)
+
+    sequential_state, _ = execute_plan_offloaded(plan, machine)  # warm caches
+    sequential = _best_seconds(
+        lambda: execute_plan_offloaded(plan, machine), repeats
+    )
+
+    result = {
+        "circuit": "qft",
+        "num_qubits": num_qubits,
+        "local_qubits": machine.local_qubits,
+        "num_shards": machine.num_shards,
+        "physical_gpus": machine.physical_gpus,
+        "cpu_count": os.cpu_count(),
+        "sequential_seconds": sequential,
+        "parallel": {},
+    }
+    for workers in worker_counts:
+        with ParallelRuntime(machine, num_workers=workers) as runtime:
+            state, _ = runtime.execute(plan)  # warm pool + worker buffers
+            seconds = _best_seconds(lambda: runtime.execute(plan), repeats)
+        result["parallel"][str(workers)] = {
+            "seconds": seconds,
+            "speedup_vs_sequential": sequential / seconds,
+            "bit_exact": bool(np.array_equal(state.data, sequential_state.data)),
+        }
+
+    states = [
+        StateVector.random_state(num_qubits, seed=seed)
+        for seed in range(batch_size)
+    ]
+    batch_repeats = max(2, repeats - 1)
+    with ParallelRuntime(machine) as runtime:
+        runtime.run_batch(plan, initial_states=states)  # warm
+        batch_per_item = (
+            _best_seconds(
+                lambda: runtime.run_batch(plan, initial_states=states),
+                batch_repeats,
+            )
+            / batch_size
+        )
+    oneshot_per_item = (
+        _best_seconds(
+            lambda: [
+                execute_plan_parallel(plan, machine, initial_state=state)
+                for state in states
+            ],
+            batch_repeats,
+        )
+        / batch_size
+    )
+    result["batch"] = {
+        "batch_size": batch_size,
+        "batch_seconds_per_item": batch_per_item,
+        "oneshot_seconds_per_item": oneshot_per_item,
+        "amortization_speedup": oneshot_per_item / batch_per_item,
+    }
+
+    # The performance-model view of the same data parallelism (the layer
+    # that reproduces Figures 5-8): the modelled wall time with the
+    # machine's 4 physical GPUs vs the same machine throttled to one.
+    # Unlike the thread-pool timings above, this is independent of how
+    # many cores the benchmarking host happens to have.
+    one_gpu = dataclasses.replace(machine, gpus_per_node=1)
+    modelled_parallel = model_simulation_time(plan, machine).total_seconds
+    modelled_serial = model_simulation_time(plan, one_gpu).total_seconds
+    result["modelled"] = {
+        "total_seconds_4gpu": modelled_parallel,
+        "total_seconds_1gpu": modelled_serial,
+        "speedup_4gpu_vs_1gpu": modelled_serial / modelled_parallel,
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Baseline comparison
 # ---------------------------------------------------------------------------
 
@@ -243,6 +356,16 @@ def check_regression(
     Benchmarks at different sizes are not compared.
     """
     problems: list[str] = []
+    # Bit-exactness is a property of the current run alone — flag a
+    # divergent parallel result even when the baseline has no matching
+    # offload entry to compare wall times against.
+    for size, new_offload in current.get("offload", {}).items():
+        for workers, new_par in new_offload.get("parallel", {}).items():
+            if not new_par.get("bit_exact", True):
+                problems.append(
+                    f"offload[{size}].parallel[{workers}]: result is not "
+                    f"bit-exact with the sequential executor"
+                )
     for size, classes in baseline.get("micro", {}).items():
         now = current.get("micro", {}).get(size)
         if now is None:
@@ -263,21 +386,67 @@ def check_regression(
                 f"plans[{size}]: {new_plan['fast_seconds']:.3f}s vs baseline "
                 f"{old_plan['fast_seconds']:.3f}s (>{threshold}x regression)"
             )
+    for size, old_offload in baseline.get("offload", {}).items():
+        new_offload = current.get("offload", {}).get(size)
+        if new_offload is None:
+            continue
+        if (
+            new_offload["sequential_seconds"]
+            > threshold * old_offload["sequential_seconds"]
+        ):
+            problems.append(
+                f"offload[{size}].sequential: "
+                f"{new_offload['sequential_seconds']:.3f}s vs baseline "
+                f"{old_offload['sequential_seconds']:.3f}s "
+                f"(>{threshold}x regression)"
+            )
+        for workers, old_par in old_offload.get("parallel", {}).items():
+            new_par = new_offload.get("parallel", {}).get(workers)
+            if new_par is None:
+                continue
+            if new_par["seconds"] > threshold * old_par["seconds"]:
+                problems.append(
+                    f"offload[{size}].parallel[{workers}]: "
+                    f"{new_par['seconds']:.3f}s vs baseline "
+                    f"{old_par['seconds']:.3f}s (>{threshold}x regression)"
+                )
+        old_batch = old_offload.get("batch")
+        new_batch = new_offload.get("batch")
+        if (
+            old_batch
+            and new_batch
+            and new_batch["batch_seconds_per_item"]
+            > threshold * old_batch["batch_seconds_per_item"]
+        ):
+            problems.append(
+                f"offload[{size}].batch: "
+                f"{new_batch['batch_seconds_per_item']:.3f}s/item vs baseline "
+                f"{old_batch['batch_seconds_per_item']:.3f}s/item "
+                f"(>{threshold}x regression)"
+            )
     return problems
 
 
 def run_suite(
-    micro_sizes: list[int], plan_sizes: list[int], repeats: int
+    micro_sizes: list[int],
+    plan_sizes: list[int],
+    repeats: int,
+    offload_sizes: list[int] | None = None,
 ) -> dict:
+    offload_sizes = offload_sizes or []
     return {
-        "schema": 1,
+        "schema": 2,
         "config": {
             "micro_qubits": micro_sizes,
             "plan_qubits": plan_sizes,
+            "offload_qubits": offload_sizes,
             "repeats": repeats,
         },
         "micro": {str(n): run_micro(n, repeats) for n in micro_sizes},
         "plans": {str(n): run_plan(n, max(2, repeats - 2)) for n in plan_sizes},
+        "offload": {
+            str(n): run_offload(n, max(2, repeats - 2)) for n in offload_sizes
+        },
     }
 
 
@@ -285,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--micro-qubits", type=int, default=20)
     parser.add_argument("--plan-qubits", type=int, default=20)
+    parser.add_argument("--offload-qubits", type=int, default=20)
     parser.add_argument("--repeats", type=int, default=7)
     parser.add_argument(
         "--quick",
@@ -314,14 +484,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.quick:
         micro_sizes = [min(args.micro_qubits, 16)]
         plan_sizes = [min(args.plan_qubits, 14)]
+        offload_sizes = [min(args.offload_qubits, 12)]
         args.repeats = min(args.repeats, 3)
     else:
         # The full run also measures the quick sizes so `--quick` always has
         # matching baseline entries to regression-check against.
         micro_sizes = sorted({16, args.micro_qubits})
         plan_sizes = sorted({14, args.plan_qubits})
+        offload_sizes = sorted({12, args.offload_qubits})
 
-    results = run_suite(micro_sizes, plan_sizes, args.repeats)
+    results = run_suite(micro_sizes, plan_sizes, args.repeats, offload_sizes)
 
     for size in micro_sizes:
         micro = results["micro"][str(size)]
@@ -341,6 +513,31 @@ def main(argv: list[str] | None = None) -> int:
             f"{plan['fast_seconds']*1e3:.1f} ms vs seed {plan['ref_seconds']*1e3:.1f} ms "
             f"({plan['speedup']:.1f}x), {plan['warm_allocations_state_sized']} "
             f"state-sized allocations warm"
+        )
+    for size in offload_sizes:
+        offload = results["offload"][str(size)]
+        print(
+            f"offload (qft-{offload['num_qubits']}, "
+            f"{offload['num_shards']} shards, {offload['cpu_count']} cpus): "
+            f"sequential {offload['sequential_seconds']*1e3:.1f} ms"
+        )
+        for workers, par in offload["parallel"].items():
+            exact = "bit-exact" if par["bit_exact"] else "MISMATCH"
+            print(
+                f"  parallel W={workers}: {par['seconds']*1e3:.1f} ms "
+                f"({par['speedup_vs_sequential']:.2f}x vs sequential, {exact})"
+            )
+        batch = offload["batch"]
+        print(
+            f"  run_batch x{batch['batch_size']}: "
+            f"{batch['batch_seconds_per_item']*1e3:.1f} ms/item vs "
+            f"{batch['oneshot_seconds_per_item']*1e3:.1f} ms one-shot "
+            f"({batch['amortization_speedup']:.2f}x)"
+        )
+        modelled = offload["modelled"]
+        print(
+            f"  modelled 4-GPU vs 1-GPU: "
+            f"{modelled['speedup_4gpu_vs_1gpu']:.2f}x"
         )
 
     if args.quick and not args.write:

@@ -51,23 +51,51 @@ class TestPlanSpeedup:
         assert plan["warm_allocations_state_sized"] <= 10
 
 
+class TestOffloadRuntime:
+    @pytest.fixture(scope="class")
+    def offload_results(self):
+        return run_bench.run_offload(num_qubits=12, repeats=2)
+
+    def test_parallel_is_bit_exact_at_every_width(self, offload_results):
+        for workers, par in offload_results["parallel"].items():
+            assert par["bit_exact"], f"W={workers} diverged from sequential"
+
+    def test_batch_is_not_slower_than_oneshot(self, offload_results):
+        # Reusing one runtime (pool, worker buffers, segmentation) across a
+        # batch must not lose to spinning everything up per problem.  The
+        # amortisation win is only a few percent at this size, so allow
+        # timing noise rather than assert a strict > 1.0.
+        assert offload_results["batch"]["amortization_speedup"] > 0.8
+
+    def test_records_host_parallelism_context(self, offload_results):
+        assert offload_results["cpu_count"] >= 1
+        assert offload_results["num_shards"] > offload_results["physical_gpus"]
+
+
 class TestBaselineRegression:
     def test_quick_run_has_no_regression_vs_committed_baseline(self):
         baseline_path = run_bench.DEFAULT_BASELINE
         if not baseline_path.exists():
             pytest.skip("no committed BENCH_simcore.json baseline")
         baseline = json.loads(baseline_path.read_text())
-        current = run_bench.run_suite(micro_sizes=[16], plan_sizes=[14], repeats=3)
+        current = run_bench.run_suite(
+            micro_sizes=[16], plan_sizes=[14], repeats=3, offload_sizes=[12]
+        )
         problems = run_bench.check_regression(current, baseline, threshold=2.0)
         assert not problems, "\n".join(problems)
 
     def test_check_regression_flags_slowdowns(self):
-        current = run_bench.run_suite(micro_sizes=[16], plan_sizes=[14], repeats=2)
+        current = run_bench.run_suite(
+            micro_sizes=[16], plan_sizes=[14], repeats=2, offload_sizes=[12]
+        )
         assert run_bench.check_regression(current, current) == []
         slowed = json.loads(json.dumps(current))
         for metrics in slowed["micro"]["16"].values():
             if isinstance(metrics, dict):
                 metrics["fast_gates_per_s"] /= 10.0
         slowed["plans"]["14"]["fast_seconds"] *= 10.0
+        slowed["offload"]["12"]["sequential_seconds"] *= 10.0
+        slowed["offload"]["12"]["parallel"]["4"]["seconds"] *= 10.0
+        slowed["offload"]["12"]["parallel"]["2"]["bit_exact"] = False
         problems = run_bench.check_regression(current=slowed, baseline=current)
-        assert len(problems) >= 2
+        assert len(problems) >= 5

@@ -94,8 +94,31 @@ class MachineConfig:
 
     @property
     def num_gpus(self) -> int:
-        """Total number of GPU shards executing in parallel: ``2^(R+G)``."""
+        """Total number of *shard slots*: ``2^(R+G)``.
+
+        Historically named ``num_gpus``, but after :meth:`for_circuit` folds
+        overflow qubits into ``regional_qubits`` the extra slots are DRAM
+        shards swapped through the GPUs, not physical devices.  Use
+        :attr:`physical_gpus` for the number of real GPUs and
+        :attr:`num_shards` for the (identical) shard count under its honest
+        name.
+        """
         return 1 << (self.regional_qubits + self.global_qubits)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of ``2^L`` shards the state is split into: ``2^(R+G)``."""
+        return 1 << (self.regional_qubits + self.global_qubits)
+
+    @property
+    def physical_gpus(self) -> int:
+        """Physical GPUs in the machine: ``num_nodes * gpus_per_node``.
+
+        This is the data-parallel width of the cluster.  When
+        ``num_shards > physical_gpus`` the excess shards live in node DRAM
+        and are streamed through the GPUs (Section VII-C).
+        """
+        return self.num_nodes * self.gpus_per_node
 
     @property
     def shard_amplitudes(self) -> int:
@@ -119,8 +142,7 @@ class MachineConfig:
 
     def fits_in_gpus(self, num_qubits: int) -> bool:
         """True when the full state fits in aggregate GPU device memory."""
-        gpus_in_machine = self.num_nodes * self.gpus_per_node
-        return self.state_bytes(num_qubits) <= gpus_in_machine * self.gpu_memory_bytes
+        return self.state_bytes(num_qubits) <= self.physical_gpus * self.gpu_memory_bytes
 
     def requires_offload(self, num_qubits: int) -> bool:
         """True when simulating *num_qubits* needs DRAM offloading."""

@@ -1,7 +1,8 @@
-"""Execution runtime: functional executors, sharding, DRAM offload, and the timing model."""
+"""Execution runtime: functional executors, sharding, DRAM offload, parallel shard scheduling, and the timing model."""
 
 from .executor import ExecutionTrace, execute_plan
-from .offload import OffloadStats, execute_plan_offloaded
+from .offload import OffloadStats, WorkerStats, execute_plan_offloaded
+from .parallel import ParallelRuntime, execute_plan_parallel
 from .sharding import QubitLayout, permute_state, shard_slices
 from .timeline import TimingBreakdown, model_simulation_time
 
@@ -10,6 +11,9 @@ __all__ = [
     "ExecutionTrace",
     "execute_plan_offloaded",
     "OffloadStats",
+    "WorkerStats",
+    "ParallelRuntime",
+    "execute_plan_parallel",
     "QubitLayout",
     "permute_state",
     "shard_slices",

@@ -11,6 +11,11 @@ The executor validates the staging invariant as it goes: every non-insular
 qubit of every gate must be mapped to a local physical position
 (``< L``).  Violations raise immediately instead of silently producing a
 plan the real machine could not run without extra communication.
+
+This single-stream executor is the correctness reference for the
+shard-level runtimes: :mod:`repro.runtime.offload` replays the same plan
+shard by shard, and :mod:`repro.runtime.parallel` schedules those shards
+across a worker pool; both must agree with it bit for bit on staged plans.
 """
 
 from __future__ import annotations
@@ -105,7 +110,7 @@ def execute_plan(
     else:
         if initial_state.num_qubits != n:
             raise ValueError("initial state size does not match plan")
-        np.copyto(state, initial_state.data)
+        initial_state.copy_into(state)
     # The whole execution ping-pongs between these two buffers: every gate,
     # kernel and layout permutation writes into one of them.  The engine
     # allocates nothing further per gate; only wide (k >= 3 dense) fused

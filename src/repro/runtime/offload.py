@@ -10,18 +10,27 @@ cheaper than gate-at-a-time offloading (the QDAO comparison of Figure 7).
 
 This module provides that shard-by-shard execution path.  Gates whose
 non-insular qubits are local act entirely within a shard; insular non-local
-qubits are handled per shard from the shard's fixed high-order bits:
+qubits are handled per shard from the shard's fixed high-order bits.  The
+classification is **per qubit axis** (matching :func:`_project_insular`),
+not per whole-gate matrix:
 
 * a *control* on a non-local qubit selects which shards the reduced gate is
   applied to,
-* a *diagonal* non-local qubit contributes a per-shard phase,
-* an *anti-diagonal* non-local qubit (X/Y-like) exchanges amplitudes
-  between shard pairs, which the executor realises as a shard-index swap
-  plus the reduced single-shard operation.
+* a qubit along which the gate is *diagonal* (the matrix never changes that
+  bit) contributes a per-shard reduced gate — even when the gate as a whole
+  is not diagonal,
+* a qubit along which the gate is *anti-diagonal* (X/Y-like: the bit always
+  flips) exchanges amplitudes between shard pairs.  The executor realises
+  this as a shard-index relabel: the shard is processed once and stored at
+  its new index, so the one-load-per-stage-per-shard property still holds,
+* only a qubit the gate genuinely *mixes* (e.g. an H the staging invariant
+  would never place non-locally) forces the gate onto the full-state path,
+  splitting the stage into extra shard passes.
 
-The executor also counts shard loads/stores so tests can verify the
+The executor counts shard loads/stores so tests can verify the
 one-load-per-stage-per-shard property that the paper's speedup over QDAO
-rests on.
+rests on.  :mod:`repro.runtime.parallel` reuses the segmentation and
+per-shard machinery defined here to schedule shards across workers.
 """
 
 from __future__ import annotations
@@ -40,7 +49,27 @@ from ..sim.fusion import fused_unitary_cached
 from ..sim.statevector import StateVector
 from .sharding import QubitLayout, permute_state, shard_slices
 
-__all__ = ["OffloadStats", "execute_plan_offloaded"]
+__all__ = ["OffloadStats", "WorkerStats", "execute_plan_offloaded"]
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker shard-traffic accounting (filled by the parallel runtime).
+
+    ``compute_seconds`` is wall-clock time the worker spent inside kernel
+    execution.  Workers of one group run the stage's kernels in lockstep
+    (the SIMT model of the paper's data-parallel GPUs), so their compute
+    times are equal within a group pass.
+    """
+
+    worker: int
+    shard_loads: int = 0
+    shard_stores: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    load_seconds: float = 0.0
+    store_seconds: float = 0.0
+    compute_seconds: float = 0.0
 
 
 @dataclass
@@ -53,46 +82,103 @@ class OffloadStats:
     shard_stores: int = 0
     bytes_transferred: int = 0
     per_stage_loads: list[int] = field(default_factory=list)
+    #: Data-parallel width the run was scheduled with (1 = sequential).
+    num_workers: int = 1
+    #: Per-worker accounting; empty for the sequential executor.
+    per_worker: list[WorkerStats] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Per-qubit axis classification
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=16384)
+def _axis_kind(gate: Gate, pos: int) -> str:
+    """How *gate* acts along the axis of ``gate.qubits[pos]``.
+
+    ``"control"``
+        A declared control qubit (never mixes, gates the gate on/off).
+    ``"diagonal"``
+        The matrix never changes this bit: every non-zero entry has equal
+        input and output bit.  True for globally diagonal gates, but also
+        e.g. for the control axis of an undeclared controlled structure.
+    ``"antidiagonal"``
+        The matrix always flips this bit (X/Y-like axis).
+    ``"mixing"``
+        Amplitude genuinely moves between the two bit values — the gate
+        cannot be resolved per shard along this axis.
+    """
+    if gate.qubits[pos] in gate.control_qubits:
+        return "control"
+    matrix = gate.matrix()
+    rows, cols = np.nonzero(np.abs(matrix) > 1e-12)
+    row_bits = (rows >> pos) & 1
+    col_bits = (cols >> pos) & 1
+    if np.array_equal(row_bits, col_bits):
+        return "diagonal"
+    if np.all(row_bits != col_bits):
+        return "antidiagonal"
+    return "mixing"
 
 
 def _is_cross_shard(gate: Gate, logical_to_physical: dict[int, int], local_qubits: int) -> bool:
-    """True when *gate* moves amplitude between shards.
+    """True when *gate* cannot be resolved shard-locally and must run on the
+    full state.
 
-    That happens only for an insular, *anti-diagonal*, non-control qubit
-    mapped to a non-local physical position (e.g. an X gate the stager left
-    on a regional/global qubit).  Diagonal qubits and control qubits stay
-    within a shard.
+    That happens only when a qubit the gate *mixes* is mapped to a
+    non-local physical position — something the staging invariant rules out
+    for planner-produced plans.  Control, diagonal and anti-diagonal axes
+    (checked **per qubit**, so e.g. a gate that is diagonal along one
+    non-local qubit but not globally diagonal stays on the shard path) are
+    all handled within the shard pass by :func:`_gate_on_shard`.
     """
-    control_set = set(gate.control_qubits)
-    for q, p in zip(gate.qubits, (logical_to_physical[q] for q in gate.qubits)):
-        if p < local_qubits or q in control_set:
+    for pos, q in enumerate(gate.qubits):
+        if logical_to_physical[q] < local_qubits:
             continue
-        # Non-local, non-control qubit: cross-shard unless the gate is
-        # diagonal along it (a control-free diagonal gate never mixes bits).
-        if not gate.is_diagonal():
+        if _axis_kind(gate, pos) == "mixing":
             return True
     return False
 
 
+def _gate_relabels(gate: Gate, logical_to_physical: dict[int, int], local_qubits: int) -> bool:
+    """True when *gate* has an anti-diagonal axis on a non-local qubit (it
+    moves shards to new indices)."""
+    for pos, q in enumerate(gate.qubits):
+        if logical_to_physical[q] < local_qubits:
+            continue
+        if _axis_kind(gate, pos) == "antidiagonal":
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Gate reduction for fixed non-local bits
+# ---------------------------------------------------------------------------
+
+
 @lru_cache(maxsize=4096)
 def _reduced_gate(
-    gate: Gate, fixed: tuple[tuple[int, int], ...]
+    gate: Gate, fixed: tuple[tuple[int, int, int], ...]
 ) -> tuple[np.ndarray, tuple[int, ...]]:
-    """Reduce *gate* by resolving the listed ``(qubit, bit)`` assignments.
+    """Reduce *gate* by resolving the listed ``(qubit, bit_in, bit_out)``
+    assignments.
 
     Control qubits are dropped (the caller only asks when the bit is 1);
-    insular diagonal qubits are projected onto their fixed bit.  Memoized so
-    every shard that resolves the same gate the same way shares one matrix
-    object (which also keeps the apply-engine's dispatch analysis warm).
+    insular diagonal qubits are projected onto their fixed bit
+    (``bit_out == bit_in``); anti-diagonal qubits are projected onto the
+    flipped transition (``bit_out == 1 - bit_in``).  Memoized so every
+    shard that resolves the same gate the same way shares one matrix object
+    (which also keeps the apply-engine's dispatch analysis warm).
     """
     matrix = gate.matrix()
     qubits = list(gate.qubits)
     control_set = set(gate.control_qubits)
-    for q, bit in fixed:
+    for q, bit_in, bit_out in fixed:
         if q in control_set:
             matrix, qubits = _drop_control(matrix, qubits, q)
         else:
-            matrix, qubits = _project_insular(matrix, qubits, q, bit)
+            matrix, qubits = _project_insular(matrix, qubits, q, bit_in, bit_out)
     matrix = np.ascontiguousarray(matrix)
     matrix.setflags(write=False)
     return matrix, tuple(qubits)
@@ -105,40 +191,58 @@ def _gate_on_shard(
     logical_to_physical: dict[int, int],
     local_qubits: int,
     shard_index: int,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, int]:
     """Apply *gate* to one shard, resolving insular non-local qubits.
 
-    The shard contents ping-pong between the two buffers; returns the
-    ``(shard, scratch)`` pair (unchanged when a controlled gate whose
-    non-local control bit is 0 leaves the shard untouched).
+    The shard contents ping-pong between the two buffers; returns
+    ``(shard, scratch, new_shard_index)``.  The buffers are unchanged when
+    a controlled gate whose non-local control bit is 0 leaves the shard
+    untouched; the index changes when an anti-diagonal non-local axis
+    relabels the shard (the caller must store the shard at the new index).
     """
     physical = [logical_to_physical[q] for q in gate.qubits]
     if all(p < local_qubits for p in physical):
-        return apply_gate_buffered(shard, scratch, gate.matrix(), physical)
+        data, scratch = apply_gate_buffered(shard, scratch, gate.matrix(), physical)
+        return data, scratch, shard_index
 
-    # Some qubits are non-local; they must be insular (the stager guarantees
-    # this).  Handle controls and diagonal phases from the shard index.
+    # Some qubits are non-local; resolve each axis from the shard's fixed
+    # high-order bits.
     control_set = set(gate.control_qubits)
-    fixed: list[tuple[int, int]] = []
-    for q, p in zip(gate.qubits, physical):
+    fixed: list[tuple[int, int, int]] = []
+    out_index = shard_index
+    for pos, (q, p) in enumerate(zip(gate.qubits, physical)):
         if p < local_qubits:
             continue
         bit = (shard_index >> (p - local_qubits)) & 1
-        if q in control_set and bit == 0:
-            # Unsatisfied non-local control: the shard is untouched.
-            return shard, scratch
-        fixed.append((q, bit))
+        if q in control_set:
+            if bit == 0:
+                # Unsatisfied non-local control: the shard is untouched.
+                return shard, scratch, shard_index
+            fixed.append((q, 1, 1))
+            continue
+        kind = _axis_kind(gate, pos)
+        if kind == "diagonal":
+            fixed.append((q, bit, bit))
+        elif kind == "antidiagonal":
+            fixed.append((q, bit, 1 - bit))
+            out_index ^= 1 << (p - local_qubits)
+        else:
+            raise ValueError(
+                f"gate {gate} mixes amplitudes along non-local qubit {q}; "
+                f"it must be executed on the full state"
+            )
     matrix, reduced_qubits = _reduced_gate(gate, tuple(fixed))
     if not reduced_qubits:
-        # Pure phase on this shard.
+        # Pure phase on this shard (possibly plus a shard relabel).
         shard *= matrix[0, 0]
-        return shard, scratch
+        return shard, scratch, out_index
     reduced_physical = [logical_to_physical[q] for q in reduced_qubits]
     if any(p >= local_qubits for p in reduced_physical):
         raise ValueError(
             f"gate {gate} has a non-insular qubit mapped to a non-local position"
         )
-    return apply_gate_buffered(shard, scratch, matrix, reduced_physical)
+    data, scratch = apply_gate_buffered(shard, scratch, matrix, reduced_physical)
+    return data, scratch, out_index
 
 
 def _drop_control(matrix: np.ndarray, qubits: list[int], control: int) -> tuple[np.ndarray, list[int]]:
@@ -153,30 +257,148 @@ def _drop_control(matrix: np.ndarray, qubits: list[int], control: int) -> tuple[
 
 
 def _project_insular(
-    matrix: np.ndarray, qubits: list[int], qubit: int, bit: int
+    matrix: np.ndarray, qubits: list[int], qubit: int, bit_in: int, bit_out: int
 ) -> tuple[np.ndarray, list[int]]:
-    """Project an insular (diagonal/anti-diagonal) qubit onto its fixed bit value.
+    """Project an insular qubit onto the fixed ``bit_in -> bit_out`` transition.
 
-    For a diagonal qubit the output bit equals the input bit, so projection
-    keeps the ``bit → bit`` block.  Anti-diagonal single-qubit gates on
-    non-local qubits would flip the shard index; the staged plans produced
-    in this repository never place them non-locally (X/Y are non-insular
-    only in the relaxed Appendix-B sense), so that case is rejected.
+    For a diagonal axis ``bit_out == bit_in`` and projection keeps the
+    ``bit -> bit`` block; for an anti-diagonal axis ``bit_out == 1 -
+    bit_in`` and projection keeps the flip block.  Amplitude leaving the
+    projected transition would leak between shards, so the projection is
+    verified to be exact (for a unitary matrix the one-sided check
+    suffices).
     """
     pos = qubits.index(qubit)
     k = len(qubits)
     dim = 1 << k
-    rows = [i for i in range(dim) if ((i >> pos) & 1) == bit]
-    block = matrix[np.ix_(rows, rows)]
-    # Verify the projection is exact (no amplitude leaves the block).
-    other = [i for i in range(dim) if ((i >> pos) & 1) != bit]
-    if other and np.max(np.abs(matrix[np.ix_(other, rows)])) > 1e-12:
+    rows_in = [i for i in range(dim) if ((i >> pos) & 1) == bit_in]
+    rows_out = [i for i in range(dim) if ((i >> pos) & 1) == bit_out]
+    block = matrix[np.ix_(rows_out, rows_in)]
+    other = [i for i in range(dim) if ((i >> pos) & 1) != bit_out]
+    if other and np.max(np.abs(matrix[np.ix_(other, rows_in)])) > 1e-12:
         raise ValueError(
-            "anti-diagonal action on a non-local qubit is not supported by "
-            "the offload executor"
+            f"gate matrix mixes amplitudes along qubit {qubit}; it cannot be "
+            f"resolved per shard"
         )
     new_qubits = [q for q in qubits if q != qubit]
     return np.ascontiguousarray(block), new_qubits
+
+
+# ---------------------------------------------------------------------------
+# Stage segmentation (shared with the parallel runtime)
+# ---------------------------------------------------------------------------
+
+
+def stage_gate_groups(stage) -> list[tuple[list[Gate], object]]:
+    """The stage's kernels as ``(gates, kernel_type)`` groups (gate-at-a-time
+    groups with ``None`` type for un-kernelized stages)."""
+    if stage.kernels is None:
+        return [([g], None) for g in stage.gates]
+    return [(list(k.gates), k.kernel_type) for k in stage.kernels]
+
+
+def split_stage_segments(
+    stage,
+    logical_to_physical: dict[int, int],
+    local_qubits: int,
+) -> list[tuple[str, object]]:
+    """Split a stage's kernel list into shard-parallel and full-state segments.
+
+    Returns ``("shards", groups)`` segments — runs of ``(gates,
+    kernel_type)`` groups every shard processes independently — separated by
+    ``("full", gate)`` segments for gates that genuinely mix amplitudes
+    across shards (hand-built plans only; staged plans never produce them).
+    """
+    segments: list[tuple[str, object]] = []
+    current_groups: list[tuple[list[Gate], object]] = []
+
+    def flush_groups() -> None:
+        nonlocal current_groups
+        if current_groups:
+            segments.append(("shards", current_groups))
+            current_groups = []
+
+    for gates, ktype in stage_gate_groups(stage):
+        if any(_is_cross_shard(g, logical_to_physical, local_qubits) for g in gates):
+            # Split the kernel's gate list, preserving order, into runs of
+            # shard-resolvable gates and the mixing gates between them.
+            run: list[Gate] = []
+            for gate in gates:
+                if _is_cross_shard(gate, logical_to_physical, local_qubits):
+                    if run:
+                        current_groups.append((run, None))
+                        run = []
+                    flush_groups()
+                    segments.append(("full", gate))
+                else:
+                    run.append(gate)
+            if run:
+                current_groups.append((run, None))
+        else:
+            current_groups.append((gates, ktype))
+    flush_groups()
+    return segments
+
+
+def segment_relabels_shards(
+    groups: list[tuple[list[Gate], object]],
+    logical_to_physical: dict[int, int],
+    local_qubits: int,
+) -> bool:
+    """True when any gate of a shards-segment relabels shard indices (so
+    stores must target a second DRAM array rather than update in place)."""
+    for gates, _ in groups:
+        for gate in gates:
+            if _gate_relabels(gate, logical_to_physical, local_qubits):
+                return True
+    return False
+
+
+def group_uses_fusion(
+    gates: list[Gate],
+    ktype,
+    logical_to_physical: dict[int, int],
+    local_qubits: int,
+) -> bool:
+    """Whether a kernel group can be applied as one fused local matrix."""
+    return ktype is KernelType.FUSION and all(
+        logical_to_physical[q] < local_qubits
+        for gate in gates
+        for q in gate.qubits
+    )
+
+
+def run_groups_on_shard(
+    data: np.ndarray,
+    scratch: np.ndarray,
+    groups: list[tuple[list[Gate], object]],
+    logical_to_physical: dict[int, int],
+    local_qubits: int,
+    shard_index: int,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Apply a shards-segment's kernel groups to one loaded shard.
+
+    Returns the final ``(data, scratch, shard_index)`` — the index may
+    differ from the input when anti-diagonal non-local axes relabelled the
+    shard; the caller stores the shard at the returned index.
+    """
+    index = shard_index
+    for gates, ktype in groups:
+        if group_uses_fusion(gates, ktype, logical_to_physical, local_qubits):
+            matrix, logical_qubits = fused_unitary_cached(tuple(gates))
+            physical = [logical_to_physical[q] for q in logical_qubits]
+            data, scratch = apply_gate_buffered(data, scratch, matrix, physical)
+        else:
+            for gate in gates:
+                data, scratch, index = _gate_on_shard(
+                    data, scratch, gate, logical_to_physical, local_qubits, index
+                )
+    return data, scratch, index
+
+
+# ---------------------------------------------------------------------------
+# Sequential executor
+# ---------------------------------------------------------------------------
 
 
 def execute_plan_offloaded(
@@ -188,7 +410,9 @@ def execute_plan_offloaded(
 
     The full state lives in a host-side array (standing in for node DRAM);
     each stage walks its shards sequentially, applying every kernel of the
-    stage to one shard before touching the next.
+    stage to one shard before touching the next.  This is the reference
+    one-worker scheduler; :class:`repro.runtime.parallel.ParallelRuntime`
+    maps the same shard passes onto multiple workers.
     """
     n = plan.num_qubits
     machine.validate(n)
@@ -199,18 +423,18 @@ def execute_plan_offloaded(
     else:
         if initial_state.num_qubits != n:
             raise ValueError("initial state size does not match plan")
-        np.copyto(state, initial_state.data)
-    # DRAM-side scratch for layout permutations and cross-shard gates, plus
-    # a GPU-side buffer pair the shard contents ping-pong through: O(1)
-    # state-sized allocations for the whole execution.
+        initial_state.copy_into(state)
+    # DRAM-side scratch for layout permutations, cross-shard gates and
+    # relabelled shard stores, plus a GPU-side buffer pair the shard
+    # contents ping-pong through: O(1) state-sized allocations for the
+    # whole execution.
     state_scratch = tracked_empty(1 << n)
 
     layout = QubitLayout(n)
     local = machine.local_qubits
     stats = OffloadStats(num_shards=1 << (n - local))
-    shard_size = 1 << local
-    shard_buf = tracked_empty(shard_size)
-    shard_scratch = tracked_empty(shard_size)
+    shard_buf = tracked_empty(1 << local)
+    shard_scratch = tracked_empty(1 << local)
 
     for stage in plan.stages:
         target = stage.partition.logical_to_physical()
@@ -221,46 +445,7 @@ def execute_plan_offloaded(
             layout.update(target)
         logical_to_physical = layout.logical_to_physical()
 
-        if stage.kernels is None:
-            gate_groups = [[g] for g in stage.gates]
-            kernel_types = [None] * len(gate_groups)
-        else:
-            gate_groups = [list(k.gates) for k in stage.kernels]
-            kernel_types = [k.kernel_type for k in stage.kernels]
-
-        # Split the kernel list into segments at "cross-shard" gates: gates
-        # with an anti-diagonal insular qubit mapped non-locally permute
-        # whole shards, so they are applied on the full DRAM-resident state
-        # (a shard-index relabel in the real runtime).  Everything else runs
-        # shard-by-shard, which is the common case.
-        segments: list[tuple[str, object]] = []
-        current_groups: list[tuple[list[Gate], object]] = []
-
-        def flush_groups() -> None:
-            nonlocal current_groups
-            if current_groups:
-                segments.append(("shards", current_groups))
-                current_groups = []
-
-        for gates, ktype in zip(gate_groups, kernel_types):
-            if any(_is_cross_shard(g, logical_to_physical, local) for g in gates):
-                # Split the kernel's gate list, preserving order, into runs of
-                # shard-local gates and the cross-shard gates between them.
-                run: list[Gate] = []
-                for gate in gates:
-                    if _is_cross_shard(gate, logical_to_physical, local):
-                        if run:
-                            current_groups.append((run, None))
-                            run = []
-                        flush_groups()
-                        segments.append(("full", gate))
-                    else:
-                        run.append(gate)
-                if run:
-                    current_groups.append((run, None))
-            else:
-                current_groups.append((gates, ktype))
-        flush_groups()
+        segments = split_stage_segments(stage, logical_to_physical, local)
 
         stage_loads = 0
         for kind, payload in segments:
@@ -271,7 +456,13 @@ def execute_plan_offloaded(
                     state, state_scratch, gate.matrix(), physical
                 )
                 continue
+            relabels = segment_relabels_shards(payload, logical_to_physical, local)
             shards = shard_slices(state, local)
+            # Relabelled shards land at new indices, so they are stored into
+            # the second DRAM array (every index is written exactly once —
+            # the relabel map is a bijection) and the arrays swap after the
+            # pass.  Without relabels shards are updated in place.
+            out_shards = shard_slices(state_scratch, local) if relabels else shards
             for shard_index, shard in enumerate(shards):
                 np.copyto(shard_buf, shard)
                 data, scratch = shard_buf, shard_scratch
@@ -279,32 +470,16 @@ def execute_plan_offloaded(
                 stats.shard_loads += 1
                 stats.bytes_transferred += data.nbytes
 
-                for gates, ktype in payload:
-                    use_fusion = (
-                        ktype is KernelType.FUSION
-                        and all(
-                            logical_to_physical[q] < local
-                            for gate in gates
-                            for q in gate.qubits
-                        )
-                    )
-                    if use_fusion:
-                        matrix, logical_qubits = fused_unitary_cached(tuple(gates))
-                        physical = [logical_to_physical[q] for q in logical_qubits]
-                        data, scratch = apply_gate_buffered(
-                            data, scratch, matrix, physical
-                        )
-                    else:
-                        for gate in gates:
-                            data, scratch = _gate_on_shard(
-                                data, scratch, gate, logical_to_physical, local,
-                                shard_index,
-                            )
+                data, scratch, out_index = run_groups_on_shard(
+                    data, scratch, payload, logical_to_physical, local, shard_index
+                )
 
-                shard[:] = data
+                out_shards[out_index][:] = data
                 shard_buf, shard_scratch = data, scratch
                 stats.shard_stores += 1
                 stats.bytes_transferred += data.nbytes
+            if relabels:
+                state, state_scratch = state_scratch, state
         stats.per_stage_loads.append(stage_loads)
         stats.num_stages += 1
 

@@ -132,7 +132,10 @@ def shard_slices(state: np.ndarray, local_qubits: int) -> list[np.ndarray]:
 
     The returned arrays are views into *state* — mutating them mutates the
     underlying state, which is exactly what the shard-by-shard executor
-    wants.
+    wants.  The views are pairwise disjoint (shard ``j`` covers exactly
+    the half-open amplitude range ``[j·2^L, (j+1)·2^L)``), so concurrent
+    workers of the parallel runtime may load and store *different* shards
+    without synchronisation.
     """
     shard_size = 1 << local_qubits
     if state.size % shard_size != 0:

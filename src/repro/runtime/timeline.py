@@ -42,6 +42,13 @@ class TimingBreakdown:
     num_stages: int = 0
     num_kernels: int = 0
     shard_passes_per_stage: int = 1
+    #: Modelled data-parallel width: shards processed concurrently.
+    parallel_workers: int = 1
+    #: Modelled shard loads per stage on the streaming (offload) path —
+    #: exactly ``num_shards`` when shards stream through the GPUs, else 0.
+    #: The functional executor's ``OffloadStats.per_stage_loads`` must match
+    #: this number stage for stage (the cross-check tests rely on it).
+    offload_shard_loads_per_stage: int = 0
 
     @property
     def communication_fraction(self) -> float:
@@ -87,12 +94,13 @@ def model_simulation_time(
     machine.validate(n)
 
     # How many shards must each GPU process sequentially?  With 2^(R+G)
-    # shards and gpus_per_node GPUs per node, shards beyond the per-node GPU
-    # count are swapped through DRAM (the offload path of Section VII-C).
-    num_shards = 1 << machine.non_local_qubits
-    physical_gpus = machine.num_nodes * machine.gpus_per_node
+    # shards and ``physical_gpus`` real devices, shards beyond the GPU count
+    # are swapped through DRAM (the offload path of Section VII-C).
+    num_shards = machine.num_shards
+    physical_gpus = machine.physical_gpus
     shard_passes = max(1, (num_shards + physical_gpus - 1) // physical_gpus)
     needs_offload = machine.requires_offload(n)
+    streams_shards = needs_offload or shard_passes > 1
 
     comm = CommModel(machine, n)
     compute_seconds = 0.0
@@ -132,12 +140,15 @@ def model_simulation_time(
         per_stage_compute.append(stage_seconds)
         compute_seconds += stage_seconds
 
-        if needs_offload or shard_passes > 1:
-            # Each extra shard pass streams the shard over PCIe in and out.
-            extra_passes = shard_passes if needs_offload else (shard_passes - 1)
-            bytes_moved = 2.0 * machine.shard_bytes * extra_passes * min(
-                num_shards, physical_gpus
-            )
+        if streams_shards:
+            # Within a stage every shard is loaded into a GPU once and
+            # written back once (the one-load-per-stage-per-shard property),
+            # so exactly ``num_shards`` loads and stores stream over PCIe —
+            # regardless of whether ``num_shards`` divides evenly across the
+            # GPUs.  The ``shard_passes * min(num_shards, physical_gpus)``
+            # formula this replaces overcounted by up to one full GPU batch
+            # whenever the division was uneven.
+            bytes_moved = 2.0 * machine.shard_bytes * num_shards
             offload_seconds += bytes_moved / (machine.pcie_bandwidth * physical_gpus)
 
     communication_seconds = comm.total_time * comm_overhead_factor
@@ -152,4 +163,6 @@ def model_simulation_time(
         num_stages=plan.num_stages,
         num_kernels=num_kernels,
         shard_passes_per_stage=shard_passes,
+        parallel_workers=min(num_shards, physical_gpus),
+        offload_shard_loads_per_stage=num_shards if streams_shards else 0,
     )

@@ -39,9 +39,11 @@ buffer and the roles swap.  A full circuit therefore runs with O(1)
 state-sized allocations.
 
 Small temporaries (half-state slices used by in-place updates) come from
-a module-level scratch pool that is reused across calls; the engine is
-single-threaded by design.  Every buffer the engine allocates is recorded
-in an allocation log so tests can regression-check allocation counts.
+a per-thread scratch pool that is reused across calls, so worker threads
+of the parallel shard runtime never share mutable temporaries (the
+dispatch caches hold immutable values and tolerate benign races).  Every
+buffer the engine allocates is recorded in an allocation log so tests can
+regression-check allocation counts.
 
 Conventions
 -----------
@@ -58,6 +60,7 @@ Conventions
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -93,10 +96,12 @@ def qubit_axis(num_qubits: int, qubit: int) -> int:
 #: last :func:`reset_allocation_log`.  Scratch-pool hits do not allocate.
 _ALLOCATION_LOG: list[int] = []
 
-#: Reusable temporaries keyed by ``(size, slot)``.  Slot 0 holds snapshot
-#: buffers, slot 1 holds multiply-accumulate temporaries; the two never
-#: alias each other.
-_SCRATCH_POOL: dict[tuple[int, int], np.ndarray] = {}
+#: Reusable temporaries keyed per thread by ``(size, slot)``.  Slot 0 holds
+#: snapshot buffers, slot 1 holds multiply-accumulate temporaries; the two
+#: never alias each other.  The pool is thread-local so concurrent shard
+#: workers each own their temporaries (pool threads are long-lived, so the
+#: per-thread buffers are reused across calls exactly like before).
+_SCRATCH_TLS = threading.local()
 
 
 def tracked_empty(size: int) -> np.ndarray:
@@ -116,16 +121,22 @@ def allocation_log() -> list[int]:
 
 
 def clear_scratch() -> None:
-    """Drop all pooled scratch buffers (frees memory, forces re-allocation)."""
-    _SCRATCH_POOL.clear()
+    """Drop the calling thread's pooled scratch buffers (frees memory,
+    forces re-allocation)."""
+    _SCRATCH_TLS.pool = {}
 
 
 def _scratch(size: int, slot: int = 0) -> np.ndarray:
+    pool: dict[tuple[int, int], np.ndarray] | None = getattr(
+        _SCRATCH_TLS, "pool", None
+    )
+    if pool is None:
+        pool = _SCRATCH_TLS.pool = {}
     key = (size, slot)
-    buf = _SCRATCH_POOL.get(key)
+    buf = pool.get(key)
     if buf is None:
         buf = tracked_empty(size)
-        _SCRATCH_POOL[key] = buf
+        pool[key] = buf
     return buf
 
 
@@ -156,6 +167,8 @@ class MatrixInfo:
     reduced_info: "MatrixInfo | None" = None
 
 
+# Shared across threads: entries are immutable and CPython dict get/set are
+# atomic, so concurrent workers at worst recompute an entry.
 _ANALYSIS_CACHE: dict[int, tuple[np.ndarray, MatrixInfo]] = {}
 _ANALYSIS_CACHE_MAX = 4096
 

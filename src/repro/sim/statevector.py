@@ -87,6 +87,23 @@ class StateVector:
     def copy(self) -> "StateVector":
         return StateVector(self.num_qubits, self._data.copy())
 
+    def copy_into(self, out: np.ndarray) -> np.ndarray:
+        """Copy the amplitudes into *out* (a flat array of the same size).
+
+        This is the safe way to seed an external buffer (e.g. the offload
+        executors' DRAM-resident arrays) from a state: unlike holding on to
+        :attr:`data`, the snapshot stays valid when this state mutates.
+        """
+        if out.size != self._data.size:
+            raise ValueError(
+                f"out has {out.size} amplitudes, expected {self._data.size}"
+            )
+        # Write through *out* itself (reshaping the source, which is always
+        # contiguous) so non-contiguous destinations are filled rather than
+        # a silently discarded flattened copy.
+        np.copyto(out, self._data.reshape(out.shape))
+        return out
+
     def norm(self) -> float:
         return float(np.linalg.norm(self._data))
 

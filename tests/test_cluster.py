@@ -22,6 +22,24 @@ class TestMachineConfig:
         assert m.shard_bytes == 2**28 * AMPLITUDE_BYTES
         assert m.total_qubits() == 33
 
+    def test_shard_slots_vs_physical_gpus(self):
+        # num_gpus (historical name) counts 2^(R+G) shard *slots*;
+        # physical_gpus counts real devices.  They agree only while every
+        # shard has a GPU of its own.
+        m = MachineConfig(local_qubits=28, regional_qubits=2, global_qubits=3)
+        assert m.num_shards == 32
+        assert m.num_gpus == m.num_shards
+        assert m.physical_gpus == m.num_nodes * m.gpus_per_node == 32
+
+    def test_overflow_qubits_add_shards_not_gpus(self):
+        # for_circuit folds qubits beyond GPU capacity into regional_qubits:
+        # those shards live in DRAM, so the shard count grows but the
+        # physical GPU count must not.
+        m = MachineConfig.for_circuit(14, num_gpus=4, local_qubits=8)
+        assert m.num_shards == 64
+        assert m.num_gpus == 64  # shard slots, not devices
+        assert m.physical_gpus == 4
+
     def test_for_circuit_single_gpu(self):
         m = MachineConfig.for_circuit(10, num_gpus=1, local_qubits=10)
         assert m.local_qubits == 10

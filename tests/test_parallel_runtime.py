@@ -1,0 +1,341 @@
+"""Tests for the parallel shard-scheduler runtime.
+
+The contract under test: for any worker count, the parallel runtime is
+**bit-exact** with the sequential offload executor (which in turn matches
+``simulate_reference``), its shard accounting matches the sequential
+executor's stage for stage, and the per-worker statistics sum to the run
+totals.  The differential sweep covers staged planner output as well as
+hand-built plans with cross-shard (full-state) segments, non-local
+controls, shard-relabelling anti-diagonal gates, and pure-phase
+reductions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.library import qft, random_circuit
+from repro.cluster import MachineConfig
+from repro.core import KernelizeConfig, partition
+from repro.core.plan import ExecutionPlan, QubitPartition, Stage
+from repro.runtime import (
+    ParallelRuntime,
+    execute_plan_offloaded,
+    execute_plan_parallel,
+    model_simulation_time,
+)
+from repro.sim import StateVector, simulate_reference
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+def _staged_plan(circuit, machine):
+    plan, _ = partition(
+        circuit, machine, kernelize_config=KernelizeConfig(pruning_threshold=16)
+    )
+    return plan
+
+
+def _hand_built_plan():
+    """One stage exercising every per-shard resolution path at once.
+
+    On a 6-qubit machine with L=3 (qubits 3, 4 regional and 5 global):
+
+    * ``h(0)/h(1)/cx(0,1)`` — plain local gates,
+    * ``x(4)`` — anti-diagonal on a regional qubit: shard relabel,
+    * ``y(5)`` — anti-diagonal on the global qubit: relabel plus a
+      per-transition phase,
+    * ``cp(3, 4)`` — both qubits non-local: reduces to a pure per-shard
+      phase,
+    * ``crz(1, 5)`` — non-local *control*: the reduced gate applies only
+      to shards whose control bit is set,
+    * ``h(3)`` — genuinely mixes amplitude along a regional qubit: must be
+      routed to the full-state path, splitting the stage in two shard
+      passes.
+    """
+    circuit = (
+        Circuit(6)
+        .h(0)
+        .h(1)
+        .x(4)
+        .y(5)
+        .cp(0.7, 3, 4)
+        .crz(0.5, 1, 5)
+        .h(3)
+        .cx(0, 1)
+    )
+    stage = Stage(
+        gates=list(circuit.gates),
+        partition=QubitPartition.from_sets({0, 1, 2}, {3, 4}, {5}),
+        gate_indices=list(range(len(circuit.gates))),
+    )
+    return circuit, ExecutionPlan(num_qubits=6, stages=[stage])
+
+
+@pytest.fixture
+def offload_machine_6():
+    """6 qubits, L=3: 8 DRAM shards streamed through 4 physical GPUs."""
+    return MachineConfig.for_circuit(6, num_gpus=4, local_qubits=3)
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_bit_exact_for_all_families(
+        self, family_circuit_10, small_machine, workers
+    ):
+        circuit = family_circuit_10
+        plan = _staged_plan(circuit, small_machine)
+        sequential, seq_stats = execute_plan_offloaded(plan, small_machine)
+        parallel, par_stats = execute_plan_parallel(
+            plan, small_machine, num_workers=workers
+        )
+        # Bit-exact, not merely allclose: every shard runs the identical
+        # kernel sequence on private buffers regardless of which worker
+        # picks it up.
+        assert np.array_equal(parallel.data, sequential.data)
+        assert simulate_reference(circuit).allclose(parallel)
+        assert par_stats.per_stage_loads == seq_stats.per_stage_loads
+        assert par_stats.shard_loads == seq_stats.shard_loads
+        assert par_stats.shard_stores == seq_stats.shard_stores
+        assert par_stats.bytes_transferred == seq_stats.bytes_transferred
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_hand_built_plan_all_resolution_paths(
+        self, offload_machine_6, workers
+    ):
+        circuit, plan = _hand_built_plan()
+        init = StateVector.random_state(6, seed=3)
+        sequential, seq_stats = execute_plan_offloaded(
+            plan, offload_machine_6, initial_state=init
+        )
+        assert simulate_reference(circuit, init).allclose(sequential)
+        parallel, par_stats = execute_plan_parallel(
+            plan, offload_machine_6, initial_state=init, num_workers=workers
+        )
+        assert np.array_equal(parallel.data, sequential.data)
+        # The h(3) full-state segment splits the stage: two shard passes.
+        assert par_stats.per_stage_loads == [2 * par_stats.num_shards]
+        assert par_stats.per_stage_loads == seq_stats.per_stage_loads
+
+    def test_workers_beyond_shards_are_clamped(self, small_machine):
+        plan = _staged_plan(qft(10), small_machine)
+        sequential, _ = execute_plan_offloaded(plan, small_machine)
+        parallel, stats = execute_plan_parallel(
+            plan, small_machine, num_workers=64
+        )
+        assert stats.num_workers == stats.num_shards
+        assert np.array_equal(parallel.data, sequential.data)
+
+    def test_custom_initial_state(self, small_machine):
+        circuit = random_circuit(10, 40, seed=7)
+        plan = _staged_plan(circuit, small_machine)
+        init = StateVector.random_state(10, seed=9)
+        out, _ = execute_plan_parallel(
+            plan, small_machine, initial_state=init, num_workers=2
+        )
+        assert simulate_reference(circuit, init).allclose(out)
+
+    def test_initial_state_size_mismatch(self, small_machine):
+        plan = _staged_plan(qft(10), small_machine)
+        with pytest.raises(ValueError):
+            execute_plan_parallel(
+                plan, small_machine, initial_state=StateVector.zero_state(8)
+            )
+
+    def test_invalid_worker_count(self, small_machine):
+        with pytest.raises(ValueError):
+            ParallelRuntime(small_machine, num_workers=0)
+
+    def test_default_width_is_physical_gpus(self, small_machine):
+        # small_machine has 16 DRAM shards but only 4 physical GPUs; the
+        # default data-parallel width is the hardware's, not the shard
+        # count.
+        assert small_machine.num_shards == 16
+        assert small_machine.physical_gpus == 4
+        runtime = ParallelRuntime(small_machine)
+        assert runtime.num_workers == 4
+        runtime.close()
+
+
+class TestShardPathRegression:
+    """Pin the per-qubit insular classification (the `_is_cross_shard` fix).
+
+    The old whole-gate ``is_diagonal()`` test routed any non-diagonal gate
+    with a non-local qubit to the full-state path, splitting the stage and
+    doubling (or tripling) the shard loads.  Anti-diagonal axes must stay
+    on the shard path as index relabels, preserving the
+    one-load-per-stage-per-shard property the module docstring promises.
+    """
+
+    def _run(self, circuit, machine, partition_sets):
+        stage = Stage(
+            gates=list(circuit.gates),
+            partition=QubitPartition.from_sets(*partition_sets),
+            gate_indices=list(range(len(circuit.gates))),
+        )
+        plan = ExecutionPlan(num_qubits=6, stages=[stage])
+        init = StateVector.random_state(6, seed=17)
+        out, stats = execute_plan_offloaded(plan, machine, initial_state=init)
+        assert simulate_reference(circuit, init).allclose(out)
+        return stats
+
+    def test_antidiagonal_nonlocal_gate_keeps_one_load_per_shard(
+        self, offload_machine_6
+    ):
+        # x/y on non-local qubits are per-axis anti-diagonal (insular) but
+        # not globally diagonal — the case the old check got wrong.
+        circuit = Circuit(6).h(0).x(4).y(5).cx(0, 1)
+        stats = self._run(
+            circuit, offload_machine_6, ({0, 1, 2}, {3, 4}, {5})
+        )
+        assert stats.per_stage_loads == [stats.num_shards]
+
+    def test_nonlocal_control_keeps_one_load_per_shard(self, offload_machine_6):
+        # crz's control is insular; cp is diagonal along both axes.
+        circuit = Circuit(6).h(0).crz(0.5, 1, 5).cp(0.3, 3, 4).h(2)
+        stats = self._run(
+            circuit, offload_machine_6, ({0, 1, 2}, {3, 4}, {5})
+        )
+        assert stats.per_stage_loads == [stats.num_shards]
+
+    def test_mixing_nonlocal_gate_still_splits_the_stage(
+        self, offload_machine_6
+    ):
+        # h genuinely mixes its axis: the full-state path (and the extra
+        # shard pass) is required, not a regression.
+        circuit = Circuit(6).h(0).h(4).h(1)
+        stats = self._run(
+            circuit, offload_machine_6, ({0, 1, 2}, {3, 4}, {5})
+        )
+        assert stats.per_stage_loads == [2 * stats.num_shards]
+
+
+class TestWorkerStats:
+    def test_per_worker_accounting_sums_to_totals(self, small_machine):
+        plan = _staged_plan(qft(10), small_machine)
+        _, stats = execute_plan_parallel(plan, small_machine, num_workers=4)
+        assert stats.num_workers == 4
+        assert len(stats.per_worker) == 4
+        assert sum(w.shard_loads for w in stats.per_worker) == stats.shard_loads
+        assert sum(w.shard_stores for w in stats.per_worker) == stats.shard_stores
+        assert (
+            sum(w.bytes_loaded + w.bytes_stored for w in stats.per_worker)
+            == stats.bytes_transferred
+        )
+        assert all(w.shard_loads == w.shard_stores for w in stats.per_worker)
+
+    def test_round_robin_balances_shards(self, small_machine):
+        # 16 shards over 4 workers: every worker gets exactly 4 per pass.
+        plan = _staged_plan(qft(10), small_machine)
+        _, stats = execute_plan_parallel(plan, small_machine, num_workers=4)
+        loads = [w.shard_loads for w in stats.per_worker]
+        assert len(set(loads)) == 1
+
+    def test_sequential_executor_reports_no_workers(self, small_machine):
+        plan = _staged_plan(qft(10), small_machine)
+        _, stats = execute_plan_offloaded(plan, small_machine)
+        assert stats.num_workers == 1
+        assert stats.per_worker == []
+
+
+class TestRunBatch:
+    def test_one_plan_many_states(self, small_machine):
+        plan = _staged_plan(qft(10), small_machine)
+        states = [StateVector.random_state(10, seed=s) for s in range(4)]
+        with ParallelRuntime(small_machine) as runtime:
+            results = runtime.run_batch(plan, initial_states=states)
+        assert len(results) == 4
+        for state, (out, _) in zip(states, results):
+            expected, _ = execute_plan_offloaded(
+                plan, small_machine, initial_state=state
+            )
+            assert np.array_equal(out.data, expected.data)
+
+    def test_many_plans(self, small_machine):
+        circuits = [qft(10), random_circuit(10, 30, seed=2)]
+        plans = [_staged_plan(c, small_machine) for c in circuits]
+        with ParallelRuntime(small_machine) as runtime:
+            results = runtime.run_batch(plans)
+        for circuit, (out, _) in zip(circuits, results):
+            assert simulate_reference(circuit).allclose(out)
+
+    def test_plan_state_pairs(self, small_machine):
+        circuit = qft(10)
+        plan = _staged_plan(circuit, small_machine)
+        init = StateVector.random_state(10, seed=5)
+        with ParallelRuntime(small_machine) as runtime:
+            [(out_zero, _), (out_init, _)] = runtime.run_batch(
+                [(plan, None), (plan, init)]
+            )
+        assert simulate_reference(circuit).allclose(out_zero)
+        assert simulate_reference(circuit, init).allclose(out_init)
+
+    def test_results_do_not_alias_runtime_buffers(self, small_machine):
+        # A later execution must not overwrite an earlier returned state.
+        plan = _staged_plan(qft(10), small_machine)
+        with ParallelRuntime(small_machine) as runtime:
+            first, _ = runtime.execute(plan)
+            snapshot = first.data.copy()
+            init = StateVector.random_state(10, seed=23)
+            runtime.execute(plan, initial_state=init)
+            runtime.execute(plan)
+        assert np.array_equal(first.data, snapshot)
+
+    def test_batch_length_mismatch(self, small_machine):
+        plan = _staged_plan(qft(10), small_machine)
+        with ParallelRuntime(small_machine) as runtime:
+            with pytest.raises(ValueError):
+                runtime.run_batch([plan, plan], initial_states=[None])
+            with pytest.raises(ValueError):
+                runtime.run_batch(plan)
+
+    def test_closed_runtime_rejects_work(self, small_machine):
+        plan = _staged_plan(qft(10), small_machine)
+        runtime = ParallelRuntime(small_machine)
+        runtime.close()
+        with pytest.raises(RuntimeError):
+            runtime.execute(plan)
+
+
+class TestTimelineCrossCheck:
+    """The modelled shard traffic must match the measured executor's."""
+
+    def test_modelled_loads_match_measured(self, small_machine):
+        plan = _staged_plan(qft(10), small_machine)
+        breakdown = model_simulation_time(plan, small_machine)
+        _, stats = execute_plan_parallel(plan, small_machine)
+        assert breakdown.offload_shard_loads_per_stage == stats.num_shards
+        assert stats.per_stage_loads == (
+            [breakdown.offload_shard_loads_per_stage] * stats.num_stages
+        )
+        assert breakdown.parallel_workers == stats.num_workers
+
+    def test_uneven_shard_division_accounts_exact_loads(self):
+        # 8 shards over 3 physical GPUs: the old model streamed
+        # ceil(8/3) * min(8, 3) = 9 shards per stage; exactly 8 move.
+        machine = MachineConfig(
+            local_qubits=7,
+            regional_qubits=3,
+            global_qubits=0,
+            gpus_per_node=3,
+            gpu_memory_bytes=(1 << 7) * 16,
+        )
+        assert machine.num_shards == 8
+        assert machine.physical_gpus == 3
+        plan = _staged_plan(qft(10), machine)
+        breakdown = model_simulation_time(plan, machine)
+        assert breakdown.offload_shard_loads_per_stage == 8
+        expected_per_stage = (
+            2.0 * machine.shard_bytes * 8
+            / (machine.pcie_bandwidth * machine.physical_gpus)
+        )
+        assert breakdown.offload_seconds == pytest.approx(
+            expected_per_stage * plan.num_stages
+        )
+
+    def test_in_memory_machine_models_no_streaming(self):
+        machine = MachineConfig.for_circuit(8, num_gpus=1, local_qubits=8)
+        plan = _staged_plan(qft(8), machine)
+        breakdown = model_simulation_time(plan, machine)
+        assert breakdown.offload_shard_loads_per_stage == 0
+        assert breakdown.parallel_workers == 1
