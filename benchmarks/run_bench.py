@@ -20,7 +20,15 @@ preserves:
   ``run_batch`` heavy-traffic scenario versus one-shot execution.  The
   host's ``cpu_count`` is recorded next to the timings: thread-parallel
   speedup is bounded by the cores actually available, so compare parallel
-  numbers only across runs on comparable hosts.
+  numbers only across runs on comparable hosts;
+* **session** — plan-cache amortisation: a structurally identical VQC
+  parameter sweep run cold (one fresh :func:`repro.simulate` per circuit,
+  ILP staging + DP kernelization every time) versus warm (one
+  :class:`repro.Session` ``run`` over the whole sweep — partitioning runs
+  once, every further circuit re-binds the cached plan).  The ``--quick``
+  gate requires the cache to prove ``sweep_size - 1`` hits, every warm
+  state to match its cold counterpart, and the warm path to be ≥ 5x
+  faster end-to-end.
 
 Usage::
 
@@ -51,9 +59,10 @@ except ImportError:  # pragma: no cover
 
 import numpy as np
 
-from repro.circuits.library import qft
+from repro import Session, simulate
+from repro.circuits.library import qft, vqc
 from repro.cluster import MachineConfig
-from repro.core import partition
+from repro.core import KernelizeConfig, partition
 from repro.runtime import (
     ParallelRuntime,
     execute_plan,
@@ -211,7 +220,7 @@ def run_plan(num_qubits: int, repeats: int = 3) -> dict:
     """Wall time of execute_plan vs the seed executor on a QFT circuit."""
     circuit = qft(num_qubits)
     machine = MachineConfig.for_circuit(
-        num_qubits, num_gpus=4, local_qubits=num_qubits - 2
+        num_qubits, num_shards=4, local_qubits=num_qubits - 2
     )
     plan, _ = partition(circuit, machine)
 
@@ -265,7 +274,7 @@ def run_offload(
     """
     circuit = qft(num_qubits)
     machine = MachineConfig.for_circuit(
-        num_qubits, num_gpus=4, local_qubits=num_qubits - 4
+        num_qubits, num_shards=4, local_qubits=num_qubits - 4
     )
     plan, _ = partition(circuit, machine)
 
@@ -342,6 +351,64 @@ def run_offload(
 
 
 # ---------------------------------------------------------------------------
+# Session plan-cache amortisation benchmark
+# ---------------------------------------------------------------------------
+
+
+def run_session_bench(
+    num_qubits: int,
+    sweep_size: int = 50,
+    pruning_threshold: int = 16,
+) -> dict:
+    """Cold vs warm execution of a structurally identical VQC sweep.
+
+    *Cold*: ``sweep_size`` independent :func:`repro.simulate` calls — every
+    one re-runs ILP staging and DP kernelization from scratch.  *Warm*: one
+    ``Session.run`` over the same circuits — the structural plan cache
+    partitions once and re-binds the plan for the remaining circuits.  The
+    warm states are checked against the cold ones, and the cache stats
+    (hits must equal ``sweep_size - 1``) are recorded for the gate.
+    """
+    machine = MachineConfig.for_circuit(
+        num_qubits, num_shards=4, local_qubits=num_qubits - 2
+    )
+    config = KernelizeConfig(pruning_threshold=pruning_threshold)
+    circuits = [vqc(num_qubits, seed=seed) for seed in range(sweep_size)]
+
+    start = time.perf_counter()
+    cold_states = [
+        simulate(circuit, machine, kernelize_config=config).state
+        for circuit in circuits
+    ]
+    cold_seconds = time.perf_counter() - start
+
+    with Session(machine, backend="incore", kernelize_config=config) as session:
+        start = time.perf_counter()
+        job = session.run(circuits)
+        warm_seconds = time.perf_counter() - start
+        stats = session.stats
+
+    matches = sum(
+        1 for cold, result in zip(cold_states, job) if cold.allclose(result.state)
+    )
+    return {
+        "circuit": "vqc",
+        "num_qubits": num_qubits,
+        "num_gates": len(circuits[0]),
+        "sweep_size": sweep_size,
+        "backend": job.backend,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+        "plans_built": stats.plans_built,
+        "cache_hits": stats.cache_hits,
+        "plan_seconds_warm": stats.plan_seconds,
+        "execute_seconds_warm": stats.execute_seconds,
+        "states_match_cold": matches,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Baseline comparison
 # ---------------------------------------------------------------------------
 
@@ -366,6 +433,51 @@ def check_regression(
                     f"offload[{size}].parallel[{workers}]: result is not "
                     f"bit-exact with the sequential executor"
                 )
+    # Session amortisation invariants are also current-run properties: the
+    # sweep must hit the plan cache for every circuit after the first, match
+    # the cold states, and beat the cold path by at least 5x end-to-end.
+    for size, sess in current.get("session", {}).items():
+        expected_hits = sess["sweep_size"] - 1
+        if sess["cache_hits"] < expected_hits or sess["plans_built"] != 1:
+            problems.append(
+                f"session[{size}]: {sess['cache_hits']} cache hits / "
+                f"{sess['plans_built']} plans built on a {sess['sweep_size']}-"
+                f"circuit sweep (expected {expected_hits} hits, 1 plan)"
+            )
+        if sess["states_match_cold"] != sess["sweep_size"]:
+            problems.append(
+                f"session[{size}]: only {sess['states_match_cold']}/"
+                f"{sess['sweep_size']} warm states match the cold runs"
+            )
+        # The 5x amortisation floor assumes the single solve is spread over
+        # enough circuits; tiny sweeps (used by unit tests) are exempt.
+        if sess["sweep_size"] >= 10 and sess["speedup"] < 5.0:
+            problems.append(
+                f"session[{size}]: warm sweep only {sess['speedup']:.2f}x "
+                f"faster than cold (< 5x amortisation)"
+            )
+    for size, old_sess in baseline.get("session", {}).items():
+        new_sess = current.get("session", {}).get(size)
+        if new_sess is None:
+            continue
+        # Quick runs use a smaller sweep than the committed full-run
+        # baseline, so sweep totals (and even warm_seconds / sweep_size,
+        # which amortises the one solve differently) are not comparable.
+        # Compare the two size-independent components instead: the one-time
+        # planning cost and the per-circuit execution cost.
+        old_exec = old_sess["execute_seconds_warm"] / old_sess["sweep_size"]
+        new_exec = new_sess["execute_seconds_warm"] / new_sess["sweep_size"]
+        if new_exec > threshold * old_exec:
+            problems.append(
+                f"session[{size}]: warm execution {new_exec:.4f}s/circuit vs "
+                f"baseline {old_exec:.4f}s/circuit (>{threshold}x regression)"
+            )
+        if new_sess["plan_seconds_warm"] > threshold * old_sess["plan_seconds_warm"]:
+            problems.append(
+                f"session[{size}]: planning {new_sess['plan_seconds_warm']:.3f}s "
+                f"vs baseline {old_sess['plan_seconds_warm']:.3f}s "
+                f"(>{threshold}x regression)"
+            )
     for size, classes in baseline.get("micro", {}).items():
         now = current.get("micro", {}).get(size)
         if now is None:
@@ -432,20 +544,29 @@ def run_suite(
     plan_sizes: list[int],
     repeats: int,
     offload_sizes: list[int] | None = None,
+    session_sizes: list[int] | None = None,
+    session_sweep: int = 50,
 ) -> dict:
     offload_sizes = offload_sizes or []
+    session_sizes = session_sizes or []
     return {
-        "schema": 2,
+        "schema": 3,
         "config": {
             "micro_qubits": micro_sizes,
             "plan_qubits": plan_sizes,
             "offload_qubits": offload_sizes,
+            "session_qubits": session_sizes,
+            "session_sweep": session_sweep,
             "repeats": repeats,
         },
         "micro": {str(n): run_micro(n, repeats) for n in micro_sizes},
         "plans": {str(n): run_plan(n, max(2, repeats - 2)) for n in plan_sizes},
         "offload": {
             str(n): run_offload(n, max(2, repeats - 2)) for n in offload_sizes
+        },
+        "session": {
+            str(n): run_session_bench(n, sweep_size=session_sweep)
+            for n in session_sizes
         },
     }
 
@@ -455,6 +576,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--micro-qubits", type=int, default=20)
     parser.add_argument("--plan-qubits", type=int, default=20)
     parser.add_argument("--offload-qubits", type=int, default=20)
+    parser.add_argument("--session-qubits", type=int, default=10)
+    parser.add_argument(
+        "--session-sweep",
+        type=int,
+        default=50,
+        help="circuits in the session plan-cache sweep (10 with --quick)",
+    )
     parser.add_argument("--repeats", type=int, default=7)
     parser.add_argument(
         "--quick",
@@ -485,6 +613,8 @@ def main(argv: list[str] | None = None) -> int:
         micro_sizes = [min(args.micro_qubits, 16)]
         plan_sizes = [min(args.plan_qubits, 14)]
         offload_sizes = [min(args.offload_qubits, 12)]
+        session_sizes = [min(args.session_qubits, 10)]
+        session_sweep = min(args.session_sweep, 10)
         args.repeats = min(args.repeats, 3)
     else:
         # The full run also measures the quick sizes so `--quick` always has
@@ -492,8 +622,17 @@ def main(argv: list[str] | None = None) -> int:
         micro_sizes = sorted({16, args.micro_qubits})
         plan_sizes = sorted({14, args.plan_qubits})
         offload_sizes = sorted({12, args.offload_qubits})
+        session_sizes = sorted({10, args.session_qubits})
+        session_sweep = args.session_sweep
 
-    results = run_suite(micro_sizes, plan_sizes, args.repeats, offload_sizes)
+    results = run_suite(
+        micro_sizes,
+        plan_sizes,
+        args.repeats,
+        offload_sizes,
+        session_sizes,
+        session_sweep,
+    )
 
     for size in micro_sizes:
         micro = results["micro"][str(size)]
@@ -538,6 +677,15 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"  modelled 4-GPU vs 1-GPU: "
             f"{modelled['speedup_4gpu_vs_1gpu']:.2f}x"
+        )
+    for size in session_sizes:
+        sess = results["session"][str(size)]
+        print(
+            f"session (vqc-{sess['num_qubits']} x{sess['sweep_size']}, "
+            f"{sess['num_gates']} gates each): warm {sess['warm_seconds']:.2f}s "
+            f"vs cold {sess['cold_seconds']:.2f}s ({sess['speedup']:.1f}x), "
+            f"{sess['plans_built']} plan built, {sess['cache_hits']} cache hits, "
+            f"{sess['states_match_cold']}/{sess['sweep_size']} states match"
         )
 
     if args.quick and not args.write:

@@ -72,6 +72,26 @@ class TestOffloadRuntime:
         assert offload_results["num_shards"] > offload_results["physical_gpus"]
 
 
+class TestSessionAmortisation:
+    @pytest.fixture(scope="class")
+    def session_results(self):
+        return run_bench.run_session_bench(num_qubits=10, sweep_size=10)
+
+    def test_sweep_partitions_once(self, session_results):
+        assert session_results["plans_built"] == 1
+        assert session_results["cache_hits"] == session_results["sweep_size"] - 1
+
+    def test_warm_states_match_cold(self, session_results):
+        assert (
+            session_results["states_match_cold"] == session_results["sweep_size"]
+        )
+
+    def test_amortisation_at_least_5x(self, session_results):
+        # Planning dominates at this size, so skipping 9 of 10 solves must
+        # win by far more than the acceptance floor.
+        assert session_results["speedup"] >= 5.0
+
+
 class TestBaselineRegression:
     def test_quick_run_has_no_regression_vs_committed_baseline(self):
         baseline_path = run_bench.DEFAULT_BASELINE
@@ -79,14 +99,16 @@ class TestBaselineRegression:
             pytest.skip("no committed BENCH_simcore.json baseline")
         baseline = json.loads(baseline_path.read_text())
         current = run_bench.run_suite(
-            micro_sizes=[16], plan_sizes=[14], repeats=3, offload_sizes=[12]
+            micro_sizes=[16], plan_sizes=[14], repeats=3, offload_sizes=[12],
+            session_sizes=[10], session_sweep=10,
         )
         problems = run_bench.check_regression(current, baseline, threshold=2.0)
         assert not problems, "\n".join(problems)
 
     def test_check_regression_flags_slowdowns(self):
         current = run_bench.run_suite(
-            micro_sizes=[16], plan_sizes=[14], repeats=2, offload_sizes=[12]
+            micro_sizes=[16], plan_sizes=[14], repeats=2, offload_sizes=[12],
+            session_sizes=[10], session_sweep=4,
         )
         assert run_bench.check_regression(current, current) == []
         slowed = json.loads(json.dumps(current))
@@ -97,5 +119,7 @@ class TestBaselineRegression:
         slowed["offload"]["12"]["sequential_seconds"] *= 10.0
         slowed["offload"]["12"]["parallel"]["4"]["seconds"] *= 10.0
         slowed["offload"]["12"]["parallel"]["2"]["bit_exact"] = False
+        slowed["session"]["10"]["execute_seconds_warm"] *= 10.0
+        slowed["session"]["10"]["cache_hits"] = 0
         problems = run_bench.check_regression(current=slowed, baseline=current)
-        assert len(problems) >= 5
+        assert len(problems) >= 7

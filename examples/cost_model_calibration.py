@@ -13,6 +13,7 @@ constants.
 Run with:  python examples/cost_model_calibration.py
 """
 
+from repro import MachineConfig, Session
 from repro.analysis import format_table
 from repro.analysis.calibration import calibrate_cost_model
 from repro.circuits.library import ising, qft, qsvm
@@ -42,6 +43,18 @@ def main() -> None:
         )
     print()
     print(format_table(rows, title="Kernelization cost under the calibrated model"))
+
+    # The calibrated model plugs straight into the Session facade: every
+    # plan it builds (and caches) is kernelized — and its modelled timing
+    # priced — with the measured constants instead of the defaults.
+    machine = MachineConfig.for_circuit(14, num_shards=4, local_qubits=12)
+    with Session(machine, cost_model=model) as session:
+        result = session.run(qft(14), execute=False).result
+    print(
+        f"\nSession with the calibrated cost model: qft(14) plans into "
+        f"{result.plan.num_kernels} kernels, modelled total "
+        f"{result.timing.total_seconds * 1e3:.2f} ms"
+    )
 
 
 if __name__ == "__main__":

@@ -5,42 +5,69 @@ Atlas does not require the whole state vector to fit on the GPUs: the state
 lives in host DRAM, is split into shards, and each stage streams every shard
 through a GPU exactly once.  This example
 
-1. runs the shard-by-shard offload executor functionally on a circuit whose
-   "GPU" is deliberately tiny, verifying the result against the reference
-   simulator and showing the one-load-per-stage-per-shard property, and
-2. reproduces the shape of Figure 7: modelled time of Atlas vs a QDAO-style
+1. runs the shard-by-shard offload backend through the :class:`repro.Session`
+   facade on a circuit whose "GPU" is deliberately tiny, verifying the result
+   against the reference simulator and showing the
+   one-load-per-stage-per-shard property,
+2. shows that ``backend="auto"`` picks the shard-streaming parallel runtime
+   on its own when the state genuinely does not fit device memory, and
+3. reproduces the shape of Figure 7: modelled time of Atlas vs a QDAO-style
    block-streaming offloader as the circuit outgrows GPU memory.
 
 Run with:  python examples/dram_offloading.py
 """
 
-from repro import MachineConfig
+from repro import MachineConfig, Session
 from repro.analysis import figure7_offloading, format_table
 from repro.circuits.library import qft
-from repro.core import partition
-from repro.runtime import execute_plan_offloaded
 from repro.sim import simulate_reference
 
 
 def functional_demo() -> None:
     num_qubits = 14
     circuit = qft(num_qubits)
-    # Pretend each "GPU shard" holds only 2^10 amplitudes: the remaining 4
-    # qubits are regional, so 16 shards are swapped through the device.
-    machine = MachineConfig.for_circuit(num_qubits, num_gpus=1, local_qubits=10)
-    plan, _report = partition(circuit, machine)
+    # One GPU whose shard holds only 2^10 amplitudes: the remaining 4
+    # qubits overflow into regional (DRAM) qubits, so 16 shards are swapped
+    # through the device.
+    machine = MachineConfig.for_circuit(num_qubits, num_shards=1, local_qubits=10)
+    assert machine.num_shards == 16 and machine.physical_gpus == 1
 
-    state, stats = execute_plan_offloaded(plan, machine)
+    with Session(machine, backend="offload") as session:
+        result = session.run(circuit).result
+    stats = result.execution_stats
     reference = simulate_reference(circuit)
-    assert reference.allclose(state), "offloaded execution diverged!"
+    assert reference.allclose(result.state), "offloaded execution diverged!"
 
-    print(f"{circuit.name}: {plan.num_stages} stages, {stats.num_shards} shards")
+    print(f"{circuit.name}: {result.plan.num_stages} stages, {stats.num_shards} shards")
     print(f"shard loads per stage: {stats.per_stage_loads}")
     print(
         f"total host<->device traffic: {stats.bytes_transferred / 2**20:.1f} MiB "
         f"(state is {2 ** num_qubits * 16 / 2**20:.1f} MiB)"
     )
     print("functional check passed\n")
+
+
+def auto_selection_demo() -> None:
+    num_qubits = 12
+    circuit = qft(num_qubits)
+    # A machine whose single tiny "GPU" holds 2^8 amplitudes: the 2^12 state
+    # cannot fit, so "auto" must route the job to the shard-streaming
+    # parallel runtime instead of the in-core executor.
+    machine = MachineConfig.for_circuit(
+        num_qubits,
+        num_shards=1,
+        local_qubits=8,
+        gpu_memory_bytes=(1 << 8) * 16,
+    )
+    with Session(machine) as session:
+        result = session.run(circuit).result
+    assert result.backend == "parallel", result.backend
+    assert simulate_reference(circuit).allclose(result.state)
+    print(
+        f"auto backend selection: state of 2^{num_qubits} amplitudes vs "
+        f"{machine.physical_gpus} GPU(s) of {machine.gpu_memory_bytes} B "
+        f"-> backend {result.backend!r}\n"
+    )
 
 
 def figure7_demo() -> None:
@@ -60,4 +87,5 @@ def figure7_demo() -> None:
 
 if __name__ == "__main__":
     functional_demo()
+    auto_selection_demo()
     figure7_demo()

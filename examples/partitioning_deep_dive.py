@@ -10,12 +10,16 @@ times:
   stages;
 * kernelization — compares KERNELIZE, ORDERED-KERNELIZE and the greedy
   5-qubit packer on one stage (the paper's Figure 10 ablation), printing the
-  kernel widths each strategy chooses.
+  kernel widths each strategy chooses;
+* plan provenance — the same pipeline driven through the
+  :class:`repro.Session` facade, showing what its structural plan cache
+  stores and when a second circuit hits it.
 
 Run with:  python examples/partitioning_deep_dive.py
 """
 
-from repro.circuits.library import ising, qft
+from repro import MachineConfig, Session
+from repro.circuits.library import ising, qft, vqc
 from repro.core import (
     KernelizeConfig,
     greedy_kernelize,
@@ -61,6 +65,30 @@ def kernelization_study() -> None:
     print()
 
 
+def provenance_study() -> None:
+    num_qubits = 12
+    machine = MachineConfig.for_circuit(num_qubits, num_shards=4, local_qubits=10)
+    print("Plan provenance through the Session facade")
+    with Session(machine, backend="incore") as session:
+        first = session.run(vqc(num_qubits, seed=0), execute=False).result
+        print(
+            f"  {first.circuit_name}: cache_hit={first.cache_hit}, "
+            f"staging {first.report.staging_seconds * 1e3:.1f} ms, "
+            f"kernelization {first.report.kernelization_seconds * 1e3:.1f} ms"
+        )
+        # Same structure, different rotation angles: the partitioner is
+        # skipped and the cached plan is re-bound to the new gates.
+        second = session.run(vqc(num_qubits, seed=1), execute=False).result
+        print(
+            f"  {second.circuit_name}: cache_hit={second.cache_hit}, "
+            f"report={second.report} (no preprocessing ran)"
+        )
+        assert second.cache_hit and second.report is None
+        print(f"  session stats: {session.stats.as_dict()}")
+    print()
+
+
 if __name__ == "__main__":
     staging_study()
     kernelization_study()
+    provenance_study()

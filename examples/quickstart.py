@@ -1,20 +1,26 @@
 #!/usr/bin/env python
-"""Quickstart: partition, execute and time a QFT circuit on a modelled 4-GPU node.
+"""Quickstart: run a QFT circuit through the Session facade on a modelled 4-GPU node.
 
 This example walks through the full Atlas pipeline on a size that runs in a
 few seconds on a laptop:
 
 1. build a benchmark circuit from the library,
-2. describe the machine (local / regional / global qubits),
-3. hierarchically partition the circuit (ILP staging + DP kernelization),
-4. execute the plan functionally and check it against the reference
-   simulator,
-5. print the modelled wall-clock time a real multi-GPU machine would need.
+2. describe the machine (local / regional / global qubits) — ``num_shards``
+   is the number of ``2^L`` state shards; here it equals the 4 physical
+   GPUs, so nothing streams through DRAM,
+3. open a :class:`repro.Session` (backend ``"auto"`` picks the in-core
+   executor because the state fits device memory), and ``run`` the circuit —
+   hierarchical partitioning (ILP staging + DP kernelization), functional
+   execution, sampling, and the modelled wall-clock time all come back in
+   one :class:`repro.Result`,
+4. check the staged execution against the reference simulator,
+5. run a second, structurally identical circuit and watch the structural
+   plan cache skip the partitioner.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import MachineConfig, simulate, simulate_reference
+from repro import MachineConfig, Session, simulate_reference
 from repro.circuits.library import qft
 
 
@@ -23,36 +29,54 @@ def main() -> None:
     circuit = qft(num_qubits)
     print(f"Circuit: {circuit.name} — {len(circuit)} gates, depth {circuit.depth()}")
 
-    # A single node with 4 GPUs: 2 regional qubits, no global qubits.
-    machine = MachineConfig.for_circuit(num_qubits, num_gpus=4, local_qubits=num_qubits - 2)
+    # A single node with 4 GPUs: 4 shards, 2 regional qubits, no global qubits.
+    machine = MachineConfig.for_circuit(
+        num_qubits, num_shards=4, local_qubits=num_qubits - 2
+    )
     print(
         f"Machine: L={machine.local_qubits} local, R={machine.regional_qubits} regional, "
         f"G={machine.global_qubits} global qubits "
-        f"({machine.num_nodes} node(s) × {machine.gpus_per_node} GPUs)"
+        f"({machine.num_nodes} node(s) × {machine.gpus_per_node} GPUs, "
+        f"{machine.num_shards} shards)"
     )
 
-    result = simulate(circuit, machine)
-    plan, timing = result.plan, result.timing
+    with Session(machine) as session:
+        result = session.run(circuit, shots=8).result
+        plan, timing = result.plan, result.timing
 
-    print(f"\nPlan: {plan.num_stages} stage(s), {plan.num_kernels} kernel(s)")
-    for i, stage in enumerate(plan.stages):
-        widths = stage.kernels.widths() if stage.kernels else []
         print(
-            f"  stage {i}: {stage.num_gates} gates, local qubits {stage.partition.local}, "
-            f"kernel widths {widths}"
+            f"\nBackend: {result.backend!r} (auto-selected; state fits GPU memory)"
         )
+        print(f"Plan: {plan.num_stages} stage(s), {plan.num_kernels} kernel(s)")
+        for i, stage in enumerate(plan.stages):
+            widths = stage.kernels.widths() if stage.kernels else []
+            print(
+                f"  stage {i}: {stage.num_gates} gates, local qubits {stage.partition.local}, "
+                f"kernel widths {widths}"
+            )
 
-    print("\nModelled execution on the GPU cluster:")
-    print(f"  computation   : {timing.computation_seconds * 1e3:.3f} ms")
-    print(f"  communication : {timing.communication_seconds * 1e3:.3f} ms")
-    print(f"  total         : {timing.total_seconds * 1e3:.3f} ms")
+        print("\nModelled execution on the GPU cluster:")
+        print(f"  computation   : {timing.computation_seconds * 1e3:.3f} ms")
+        print(f"  communication : {timing.communication_seconds * 1e3:.3f} ms")
+        print(f"  total         : {timing.total_seconds * 1e3:.3f} ms")
 
-    # Validate the staged execution against the straightforward simulator.
-    reference = simulate_reference(circuit)
-    assert reference.allclose(result.state), "staged execution diverged from reference!"
-    print("\nFunctional check passed: staged execution matches the reference simulator.")
-    probs = result.state.probabilities()
-    print(f"First four output probabilities: {probs[:4].round(6)}")
+        # Validate the staged execution against the straightforward simulator.
+        reference = simulate_reference(circuit)
+        assert reference.allclose(result.state), "staged execution diverged from reference!"
+        print("\nFunctional check passed: staged execution matches the reference simulator.")
+        probs = result.state.probabilities()
+        print(f"First four output probabilities: {probs[:4].round(6)}")
+        print(f"Eight measurement samples: {sorted(result.counts().items())}")
+
+        # A structurally identical circuit reuses the cached plan: the ILP
+        # and the DP kernelizer do not run again.
+        rerun = session.run(qft(num_qubits)).result
+        assert rerun.cache_hit, "second structurally identical run missed the cache"
+        stats = session.stats
+        print(
+            f"\nPlan cache: {stats.plans_built} plan built, "
+            f"{stats.cache_hits} hit(s) — partitioning ran once for two runs."
+        )
 
 
 if __name__ == "__main__":

@@ -7,6 +7,11 @@ modelled simulation time of Atlas, HyQuas, cuQuantum and Qiskit-Aer is
 reported.  Atlas's ILP staging keeps the number of all-to-all exchanges flat
 as the machine grows, which is where its advantage comes from.
 
+Every curve runs through one :class:`repro.Session`: Atlas is the session's
+own ILP+DP pipeline (``backend="incore"``), each baseline is a registered
+modelled backend (``"hyquas"``/``"cuquantum"``/``"qiskit"``) — see
+``figure5_weak_scaling`` in :mod:`repro.analysis.experiments`.
+
 Run with:  python examples/weak_scaling_study.py [--local-qubits N]
 """
 

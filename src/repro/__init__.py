@@ -14,6 +14,8 @@ The package is organised as:
   partitioner that combines them (Algorithm 1),
 * :mod:`repro.runtime` — staged execution, DRAM offloading, and the
   end-to-end timing model,
+* :mod:`repro.session` — the :class:`Session` facade: pluggable execution
+  backends, a structural plan cache, and the shots/observables job API,
 * :mod:`repro.baselines` — HyQuas / cuQuantum / Qiskit-Aer / QDAO simulator
   models used in the evaluation,
 * :mod:`repro.analysis` — experiment drivers regenerating every table and
@@ -21,11 +23,15 @@ The package is organised as:
 
 Quick start::
 
-    from repro import simulate, MachineConfig
+    from repro import Session, MachineConfig
     from repro.circuits.library import qft
 
-    result = simulate(qft(12), MachineConfig.for_circuit(12, num_gpus=4, local_qubits=10))
-    print(result.timing.total_seconds, result.state.probabilities()[:4])
+    machine = MachineConfig.for_circuit(12, num_shards=4, local_qubits=10)
+    with Session(machine) as session:
+        result = session.run(qft(12), shots=100).result
+    print(result.timing.total_seconds, result.counts())
+
+:func:`simulate` remains as a one-shot convenience over the same machinery.
 """
 
 from __future__ import annotations
@@ -41,9 +47,10 @@ from .core import (
     partition,
 )
 from .runtime import TimingBreakdown, execute_plan, model_simulation_time
+from .session import Job, Result, Session
 from .sim import StateVector, simulate_reference
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Circuit",
@@ -63,6 +70,9 @@ __all__ = [
     "execute_plan",
     "model_simulation_time",
     "TimingBreakdown",
+    "Session",
+    "Job",
+    "Result",
     "SimulationResult",
     "simulate",
     "__version__",
@@ -75,7 +85,7 @@ class SimulationResult:
 
     state: StateVector | None
     plan: ExecutionPlan
-    report: PartitionReport
+    report: PartitionReport | None
     timing: TimingBreakdown
 
 
@@ -90,6 +100,11 @@ def simulate(
     execute: bool = True,
 ) -> SimulationResult:
     """Partition, execute, and time *circuit* on *machine* — the one-call API.
+
+    A thin one-shot shim over :class:`repro.session.Session` with the
+    in-core backend: one circuit, one plan, no caching across calls.  Use a
+    Session directly for repeated runs (plan-cache amortisation), shard
+    streaming backends, shots, or observables.
 
     Parameters
     ----------
@@ -108,16 +123,20 @@ def simulate(
         When False, skip the functional state-vector execution (useful for
         circuits too large to materialise) and return ``state=None``.
     """
-    plan, report = partition(
-        circuit,
+    with Session(
         machine,
+        backend="incore",
         cost_model=cost_model,
         stager=stager,
         kernelizer=kernelizer,
         kernelize_config=kernelize_config,
+    ) as session:
+        result = session.run(
+            circuit, initial_state=initial_state, execute=execute
+        ).result
+    return SimulationResult(
+        state=result.state,
+        plan=result.plan,
+        report=result.report,
+        timing=result.timing,
     )
-    timing = model_simulation_time(plan, machine, cost_model)
-    state = None
-    if execute:
-        state, _trace = execute_plan(plan, initial_state=initial_state, machine=machine)
-    return SimulationResult(state=state, plan=plan, report=report, timing=timing)

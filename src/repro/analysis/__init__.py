@@ -11,6 +11,7 @@ from .experiments import (
     figure14_24_per_circuit_cost,
     figure25_hhl_case_study,
     figure26_36_preprocessing_time,
+    session_amortization,
     table1_circuit_sizes,
 )
 from .reporting import format_series, format_table, geometric_mean
@@ -27,6 +28,7 @@ __all__ = [
     "figure14_24_per_circuit_cost",
     "figure25_hhl_case_study",
     "figure26_36_preprocessing_time",
+    "session_amortization",
     "format_table",
     "format_series",
     "geometric_mean",

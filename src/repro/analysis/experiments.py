@@ -17,8 +17,8 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from ..baselines import AtlasSimulator, QdaoSimulator, SIMULATORS
-from ..circuits.library import CIRCUIT_FAMILIES, PAPER_FAMILIES, get_circuit, hhl
+from ..baselines import QdaoSimulator
+from ..circuits.library import CIRCUIT_FAMILIES, PAPER_FAMILIES, get_circuit, hhl, vqc
 from ..cluster.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..cluster.machine import MachineConfig
 from ..core.greedy_kernelize import greedy_kernelize
@@ -26,6 +26,7 @@ from ..core.kernelize import KernelizeConfig, kernelize
 from ..core.ordered_kernelize import ordered_kernelize
 from ..core.stage import stage_circuit
 from ..core.stage_heuristics import snuqs_stage_circuit
+from ..session import Session
 from .reporting import geometric_mean
 
 __all__ = [
@@ -40,7 +41,24 @@ __all__ = [
     "figure14_24_per_circuit_cost",
     "figure25_hhl_case_study",
     "figure26_36_preprocessing_time",
+    "session_amortization",
 ]
+
+
+def _atlas_session(
+    pruning_threshold: int, ilp_time_limit: float | None = 120.0
+) -> Session:
+    """A Session configured like the paper's Atlas pipeline.
+
+    The modelled-comparison drivers below run every simulator through this
+    one facade: Atlas itself through the session's own ILP+DP pipeline
+    (``backend="incore"``), the baselines through their registered
+    modelled backends — one loop, one plan cache.
+    """
+    return Session(
+        kernelize_config=KernelizeConfig(pruning_threshold=pruning_threshold),
+        ilp_time_limit=ilp_time_limit,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -65,9 +83,9 @@ def table1_circuit_sizes(
 # Figure 5 / 6 — end-to-end weak scaling and time breakdown
 # ---------------------------------------------------------------------------
 
-def _machine_for(num_qubits: int, num_gpus: int, local_qubits: int) -> MachineConfig:
+def _machine_for(num_qubits: int, num_shards: int, local_qubits: int) -> MachineConfig:
     return MachineConfig.for_circuit(
-        num_qubits, num_gpus=num_gpus, local_qubits=local_qubits
+        num_qubits, num_shards=num_shards, local_qubits=local_qubits
     )
 
 
@@ -86,32 +104,32 @@ def figure5_weak_scaling(
     qubits, 0–8 non-local qubits).  Returns one row list per family with the
     modelled simulation time of every simulator and Atlas's speedup over the
     best baseline.
+
+    Every curve goes through one :class:`repro.session.Session`: Atlas is
+    the session's own ILP+DP pipeline, each baseline is its registered
+    modelled backend.
     """
     results: dict[str, list[dict]] = {}
-    sims = {}
-    for name in simulators:
-        if name == "atlas":
-            sims[name] = AtlasSimulator(
-                pruning_threshold=pruning_threshold, ilp_time_limit=ilp_time_limit
-            )
-        else:
-            sims[name] = SIMULATORS[name]()
-    for family in families:
-        rows = []
-        for gpus in gpu_counts:
-            non_local = int(math.log2(gpus))
-            num_qubits = local_qubits + non_local
-            circuit = get_circuit(family, num_qubits)
-            machine = _machine_for(num_qubits, gpus, local_qubits)
-            row: dict[str, object] = {"gpus": gpus, "qubits": num_qubits}
-            for name, sim in sims.items():
-                breakdown = sim.model_time(circuit, machine)
-                row[name] = breakdown.total_seconds
-            baselines = [row[n] for n in sims if n != "atlas"]
-            if "atlas" in sims and baselines:
-                row["speedup_vs_best_baseline"] = min(baselines) / row["atlas"]
-            rows.append(row)
-        results[family] = rows
+    with _atlas_session(pruning_threshold, ilp_time_limit) as session:
+        for family in families:
+            rows = []
+            for gpus in gpu_counts:
+                non_local = int(math.log2(gpus))
+                num_qubits = local_qubits + non_local
+                circuit = get_circuit(family, num_qubits)
+                machine = _machine_for(num_qubits, gpus, local_qubits)
+                row: dict[str, object] = {"gpus": gpus, "qubits": num_qubits}
+                for name in simulators:
+                    backend = "incore" if name == "atlas" else name
+                    result = session.run(
+                        circuit, machine=machine, backend=backend, execute=False
+                    ).result
+                    row[name] = result.timing.total_seconds
+                baselines = [row[n] for n in simulators if n != "atlas"]
+                if "atlas" in simulators and baselines:
+                    row["speedup_vs_best_baseline"] = min(baselines) / row["atlas"]
+                rows.append(row)
+            results[family] = rows
     return results
 
 
@@ -123,30 +141,30 @@ def figure6_breakdown(
     ilp_time_limit: float = 60.0,
 ) -> list[dict]:
     """Communication / computation breakdown of Atlas (Figure 6)."""
-    atlas = AtlasSimulator(
-        pruning_threshold=pruning_threshold, ilp_time_limit=ilp_time_limit
-    )
     rows = []
-    for gpus in gpu_counts:
-        non_local = int(math.log2(gpus))
-        num_qubits = local_qubits + non_local
-        totals, comms = [], []
-        for family in families:
-            circuit = get_circuit(family, num_qubits)
-            machine = _machine_for(num_qubits, gpus, local_qubits)
-            breakdown = atlas.model_time(circuit, machine)
-            totals.append(breakdown.total_seconds)
-            comms.append(breakdown.communication_seconds + breakdown.offload_seconds)
-        avg_total = sum(totals) / len(totals)
-        avg_comm = sum(comms) / len(comms)
-        rows.append(
-            {
-                "gpus": gpus,
-                "avg_total_s": avg_total,
-                "avg_comm_s": avg_comm,
-                "comm_fraction": avg_comm / avg_total if avg_total else 0.0,
-            }
-        )
+    with _atlas_session(pruning_threshold, ilp_time_limit) as session:
+        for gpus in gpu_counts:
+            non_local = int(math.log2(gpus))
+            num_qubits = local_qubits + non_local
+            totals, comms = [], []
+            for family in families:
+                circuit = get_circuit(family, num_qubits)
+                machine = _machine_for(num_qubits, gpus, local_qubits)
+                breakdown = session.run(
+                    circuit, machine=machine, backend="incore", execute=False
+                ).result.timing
+                totals.append(breakdown.total_seconds)
+                comms.append(breakdown.communication_seconds + breakdown.offload_seconds)
+            avg_total = sum(totals) / len(totals)
+            avg_comm = sum(comms) / len(comms)
+            rows.append(
+                {
+                    "gpus": gpus,
+                    "avg_total_s": avg_total,
+                    "avg_comm_s": avg_comm,
+                    "comm_fraction": avg_comm / avg_total if avg_total else 0.0,
+                }
+            )
     return rows
 
 
@@ -171,29 +189,33 @@ def figure7_offloading(
     pruning_threshold: int = 32,
 ) -> list[dict]:
     """Atlas vs QDAO with DRAM offloading on one GPU (Figure 7)."""
-    atlas = AtlasSimulator(pruning_threshold=pruning_threshold)
     # QDAO's scheduling granularity t scales with the on-GPU qubit count the
-    # same way the paper's best setting does (m=28, t=19).
+    # same way the paper's best setting does (m=28, t=19).  QDAO's block
+    # streaming does not produce an ExecutionPlan, so it stays a direct
+    # model rather than a session backend.
     qdao = QdaoSimulator(
         on_gpu_qubits=local_qubits, group_qubits=max(2, local_qubits - 9)
     )
     rows = []
-    for n in qubit_range:
-        circuit = get_circuit(family, n)
-        machine = MachineConfig.for_circuit(
-            n, num_gpus=1, local_qubits=min(local_qubits, n),
-            gpu_memory_bytes=_offload_gpu_memory(local_qubits),
-        )
-        atlas_time = atlas.model_time(circuit, machine).total_seconds
-        qdao_time = qdao.model_time(circuit, machine).total_seconds
-        rows.append(
-            {
-                "qubits": n,
-                "atlas_s": atlas_time,
-                "qdao_s": qdao_time,
-                "speedup": qdao_time / atlas_time if atlas_time else float("inf"),
-            }
-        )
+    with _atlas_session(pruning_threshold) as session:
+        for n in qubit_range:
+            circuit = get_circuit(family, n)
+            machine = MachineConfig.for_circuit(
+                n, num_shards=1, local_qubits=min(local_qubits, n),
+                gpu_memory_bytes=_offload_gpu_memory(local_qubits),
+            )
+            atlas_time = session.run(
+                circuit, machine=machine, backend="incore", execute=False
+            ).result.timing.total_seconds
+            qdao_time = qdao.model_time(circuit, machine).total_seconds
+            rows.append(
+                {
+                    "qubits": n,
+                    "atlas_s": atlas_time,
+                    "qdao_s": qdao_time,
+                    "speedup": qdao_time / atlas_time if atlas_time else float("inf"),
+                }
+            )
     return rows
 
 
@@ -205,20 +227,22 @@ def figure8_offload_scaling(
     pruning_threshold: int = 32,
 ) -> list[dict]:
     """Atlas DRAM-offloading scaling across GPUs (Figure 8)."""
-    atlas = AtlasSimulator(pruning_threshold=pruning_threshold)
     qdao = QdaoSimulator(
         on_gpu_qubits=local_qubits, group_qubits=max(2, local_qubits - 9)
     )
     circuit = get_circuit(family, num_qubits)
     rows = []
-    for gpus in gpu_counts:
-        machine = MachineConfig.for_circuit(
-            num_qubits, num_gpus=gpus, local_qubits=local_qubits,
-            gpu_memory_bytes=_offload_gpu_memory(local_qubits),
-        )
-        atlas_time = atlas.model_time(circuit, machine).total_seconds
-        qdao_time = qdao.model_time(circuit, machine).total_seconds
-        rows.append({"gpus": gpus, "atlas_s": atlas_time, "qdao_s": qdao_time})
+    with _atlas_session(pruning_threshold) as session:
+        for gpus in gpu_counts:
+            machine = MachineConfig.for_circuit(
+                num_qubits, num_shards=gpus, local_qubits=local_qubits,
+                gpu_memory_bytes=_offload_gpu_memory(local_qubits),
+            )
+            atlas_time = session.run(
+                circuit, machine=machine, backend="incore", execute=False
+            ).result.timing.total_seconds
+            qdao_time = qdao.model_time(circuit, machine).total_seconds
+            rows.append({"gpus": gpus, "atlas_s": atlas_time, "qdao_s": qdao_time})
     return rows
 
 
@@ -387,6 +411,62 @@ def figure25_hhl_case_study(
             }
         )
     return rows
+
+
+def session_amortization(
+    num_qubits: int = 10,
+    sweep_size: int = 20,
+    num_shards: int = 4,
+    local_qubits: int | None = None,
+    pruning_threshold: int = 32,
+    backend: str = "incore",
+) -> dict:
+    """Plan-cache amortisation on a structurally identical VQC sweep.
+
+    The Session tentpole's headline experiment: a variational parameter
+    sweep (*sweep_size* ``vqc`` circuits differing only in rotation angles)
+    is run cold — one fresh one-shot :func:`repro.simulate` per circuit, so
+    ILP staging and DP kernelization rerun every time — and warm, through
+    one :class:`repro.session.Session` whose structural plan cache
+    partitions once and re-binds the plan for every further circuit.
+    Returns both wall times, the speedup, and the session's cache stats.
+    """
+    from repro import simulate  # local import: repro imports this package
+
+    if local_qubits is None:
+        local_qubits = num_qubits - max(1, num_shards.bit_length() - 1)
+    machine = MachineConfig.for_circuit(
+        num_qubits, num_shards=num_shards, local_qubits=local_qubits
+    )
+    config = KernelizeConfig(pruning_threshold=pruning_threshold)
+    circuits = [vqc(num_qubits, seed=s) for s in range(sweep_size)]
+
+    t0 = time.perf_counter()
+    cold_states = [
+        simulate(c, machine, kernelize_config=config).state for c in circuits
+    ]
+    cold_seconds = time.perf_counter() - t0
+
+    with Session(machine, backend=backend, kernelize_config=config) as session:
+        t0 = time.perf_counter()
+        job = session.run(circuits)
+        warm_seconds = time.perf_counter() - t0
+        stats = session.stats.as_dict()
+
+    matches = sum(
+        1 for cold, res in zip(cold_states, job) if cold.allclose(res.state)
+    )
+    return {
+        "sweep_size": sweep_size,
+        "num_qubits": num_qubits,
+        "backend": job.backend,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds else float("inf"),
+        "plans_built": stats["plans_built"],
+        "cache_hits": stats["cache_hits"],
+        "states_match_cold": matches,
+    }
 
 
 def figure26_36_preprocessing_time(

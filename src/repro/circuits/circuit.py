@@ -10,6 +10,7 @@ topological-equivalence checks used by the kernelizer's correctness tests.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -220,6 +221,36 @@ class Circuit:
             num_multi_qubit_gates=multi,
             depth=self.depth(),
         )
+
+    def structural_key(self) -> str:
+        """Hex fingerprint of the circuit's *partitioning-relevant* structure.
+
+        Two circuits share a structural key exactly when the staging and
+        kernelization algorithms would make identical decisions for them:
+        same qubit count, same gate sequence (names and qubit tuples), and —
+        for parameterized gates — the same matrix *sparsity pattern*.  Gate
+        angles are deliberately excluded: ``rx(0.3)`` and ``rx(0.7)`` hash
+        identically (a VQC/QSVM parameter sweep is one structure), while
+        ``rx(pi)`` hashes differently because its matrix collapses to an
+        anti-diagonal, which changes insularity (Definition 2) and therefore
+        staging.  The sparsity pattern also determines the per-axis
+        diagonal/anti-diagonal classification the offload runtime segments
+        stages by, so plans and stage schedules cached under this key can be
+        replayed for any circuit that shares it.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.num_qubits.to_bytes(4, "little"))
+        for g in self._gates:
+            h.update(b"|")
+            h.update(g.name.encode())
+            h.update(np.asarray(g.qubits, dtype=np.int32).tobytes())
+            if g.params:
+                # The boolean non-zero pattern of the unitary: invariant
+                # across generic angles, distinct for structure-changing
+                # special angles (0, pi, ...).
+                pattern = np.abs(g.matrix()) > 1e-12
+                h.update(np.packbits(pattern.reshape(-1)).tobytes())
+        return h.hexdigest()
 
     def dependency_edges(self) -> list[tuple[int, int]]:
         """Adjacent-gate dependency pairs ``E`` (paper Section IV).

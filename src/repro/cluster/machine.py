@@ -168,21 +168,33 @@ class MachineConfig:
     def for_circuit(
         cls,
         num_qubits: int,
-        num_gpus: int = 1,
+        num_gpus: int | None = None,
         gpus_per_node: int = 4,
         local_qubits: int | None = None,
+        num_shards: int | None = None,
         **overrides,
     ) -> "MachineConfig":
-        """Build a machine for *num_qubits* spread over *num_gpus* GPUs.
+        """Build a machine for *num_qubits* split into *num_shards* shards.
 
         Mirrors the paper's weak-scaling setup: the number of non-local
-        qubits is ``log2(num_gpus)``; up to ``log2(gpus_per_node)`` of them
-        are regional, the rest global.  If the circuit has more qubits than
-        ``L + log2(num_gpus)`` the extra qubits become regional (DRAM
-        offloading territory).
+        qubits is ``log2(num_shards)``; up to ``log2(gpus_per_node)`` of
+        them are regional, the rest global.  If the circuit has more qubits
+        than ``L + log2(num_shards)`` the extra qubits become regional (DRAM
+        offloading territory: shards beyond :attr:`physical_gpus` stream
+        through the devices).
+
+        ``num_shards`` is the honest name for what the deprecated
+        ``num_gpus`` parameter always meant — *shard slots*, not physical
+        devices (see :attr:`num_gpus`).  ``num_gpus`` is kept as an alias;
+        passing both is an error.
         """
+        if num_shards is not None and num_gpus is not None:
+            raise ValueError("pass num_shards or the deprecated num_gpus alias, not both")
+        if num_shards is None:
+            num_shards = 1 if num_gpus is None else num_gpus
+        num_gpus = num_shards
         if num_gpus < 1 or (num_gpus & (num_gpus - 1)) != 0:
-            raise ValueError("num_gpus must be a positive power of two")
+            raise ValueError("num_shards must be a positive power of two")
         non_local = num_gpus.bit_length() - 1
         if local_qubits is None:
             local_qubits = num_qubits - non_local

@@ -297,6 +297,86 @@ def stage_gate_groups(stage) -> list[tuple[list[Gate], object]]:
     return [(list(k.gates), k.kernel_type) for k in stage.kernels]
 
 
+def split_stage_segment_shapes(
+    stage,
+    logical_to_physical: dict[int, int],
+    local_qubits: int,
+) -> list[tuple[str, object]]:
+    """Structural description of a stage's shard/full-state segmentation.
+
+    The *shape* refers to gates only through their position — ``("full",
+    (group_idx, offset))`` descriptors for cross-shard gates and
+    ``("shards", [(group_idx, start, end), ...])`` descriptors for runs of
+    shard-resolvable gates, where ``group_idx`` indexes
+    :func:`stage_gate_groups` and ``(start, end)`` slices that group's gate
+    list.  Because the classification depends only on each gate's matrix
+    sparsity pattern (never on its angles), a shape computed for one plan is
+    valid for every plan sharing its circuit's
+    :meth:`~repro.circuits.circuit.Circuit.structural_key` — the property
+    the parallel runtime's schedule cache and the Session plan cache rely
+    on.  :func:`materialize_stage_segments` turns a shape back into the
+    executable segment list for a concrete plan.
+    """
+    shapes: list[tuple[str, object]] = []
+    current: list[tuple[int, int, int]] = []
+
+    def flush() -> None:
+        nonlocal current
+        if current:
+            shapes.append(("shards", current))
+            current = []
+
+    for group_idx, (gates, _ktype) in enumerate(stage_gate_groups(stage)):
+        if any(_is_cross_shard(g, logical_to_physical, local_qubits) for g in gates):
+            # Split the kernel's gate list, preserving order, into runs of
+            # shard-resolvable gates and the mixing gates between them.
+            run_start: int | None = None
+            for offset, gate in enumerate(gates):
+                if _is_cross_shard(gate, logical_to_physical, local_qubits):
+                    if run_start is not None:
+                        current.append((group_idx, run_start, offset))
+                        run_start = None
+                    flush()
+                    shapes.append(("full", (group_idx, offset)))
+                else:
+                    if run_start is None:
+                        run_start = offset
+            if run_start is not None:
+                current.append((group_idx, run_start, len(gates)))
+        else:
+            current.append((group_idx, 0, len(gates)))
+    flush()
+    return shapes
+
+
+def materialize_stage_segments(
+    stage, shapes: list[tuple[str, object]]
+) -> list[tuple[str, object]]:
+    """Turn a segmentation shape into executable segments for *stage*.
+
+    A ``(start, end)`` slice covering its whole group keeps the group's
+    kernel type (fusion kernels stay fused); a partial slice — a kernel
+    split around a cross-shard gate — is applied gate-at-a-time, exactly as
+    the direct splitter does.
+    """
+    groups = stage_gate_groups(stage)
+    segments: list[tuple[str, object]] = []
+    for kind, payload in shapes:
+        if kind == "full":
+            group_idx, offset = payload
+            segments.append(("full", groups[group_idx][0][offset]))
+        else:
+            materialized: list[tuple[list[Gate], object]] = []
+            for group_idx, start, end in payload:
+                gates, ktype = groups[group_idx]
+                if start == 0 and end == len(gates):
+                    materialized.append((gates, ktype))
+                else:
+                    materialized.append((gates[start:end], None))
+            segments.append(("shards", materialized))
+    return segments
+
+
 def split_stage_segments(
     stage,
     logical_to_physical: dict[int, int],
@@ -309,35 +389,9 @@ def split_stage_segments(
     ``("full", gate)`` segments for gates that genuinely mix amplitudes
     across shards (hand-built plans only; staged plans never produce them).
     """
-    segments: list[tuple[str, object]] = []
-    current_groups: list[tuple[list[Gate], object]] = []
-
-    def flush_groups() -> None:
-        nonlocal current_groups
-        if current_groups:
-            segments.append(("shards", current_groups))
-            current_groups = []
-
-    for gates, ktype in stage_gate_groups(stage):
-        if any(_is_cross_shard(g, logical_to_physical, local_qubits) for g in gates):
-            # Split the kernel's gate list, preserving order, into runs of
-            # shard-resolvable gates and the mixing gates between them.
-            run: list[Gate] = []
-            for gate in gates:
-                if _is_cross_shard(gate, logical_to_physical, local_qubits):
-                    if run:
-                        current_groups.append((run, None))
-                        run = []
-                    flush_groups()
-                    segments.append(("full", gate))
-                else:
-                    run.append(gate)
-            if run:
-                current_groups.append((run, None))
-        else:
-            current_groups.append((gates, ktype))
-    flush_groups()
-    return segments
+    return materialize_stage_segments(
+        stage, split_stage_segment_shapes(stage, logical_to_physical, local_qubits)
+    )
 
 
 def segment_relabels_shards(

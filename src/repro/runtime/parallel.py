@@ -58,9 +58,10 @@ from ..sim.statevector import StateVector
 from .offload import (
     OffloadStats,
     WorkerStats,
+    materialize_stage_segments,
     run_groups_on_shard,
     segment_relabels_shards,
-    split_stage_segments,
+    split_stage_segment_shapes,
 )
 from .sharding import QubitLayout, permute_state, shard_slices
 
@@ -101,8 +102,15 @@ class ParallelRuntime:
         self._tls = threading.local()
         #: DRAM scratch array per state size, reused across executions.
         self._dram_scratch: dict[int, np.ndarray] = {}
-        #: plan-id -> (plan, per-stage (target, logical_to_physical, segments)).
-        self._segment_cache: dict[int, tuple[ExecutionPlan, list]] = {}
+        #: cache key -> (plan, segmentation shape, plan's materialized
+        #: schedule).  Keyed by ``id(plan)`` by default, or by the
+        #: caller-supplied ``schedule_key`` so structurally identical plans
+        #: (a Session parameter sweep) share one shape; the materialized
+        #: schedule is only ever served back to the plan that built it.
+        self._segment_cache: dict[object, tuple[ExecutionPlan, list, list]] = {}
+        #: Schedule-cache accounting, surfaced through Session stats.
+        self.schedule_cache_hits = 0
+        self.schedule_cache_misses = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -171,28 +179,51 @@ class ParallelRuntime:
     # Stage segmentation (memoized per plan for run_batch)
     # ------------------------------------------------------------------
 
-    def _plan_schedule(self, plan: ExecutionPlan) -> list:
+    def _plan_schedule(
+        self, plan: ExecutionPlan, schedule_key: str | None = None
+    ) -> list:
         """Per-stage ``(target, logical_to_physical, segments)`` for *plan*.
 
-        The layout walk is deterministic, so the segmentation — the
-        expensive per-gate cross-shard classification — is computed once
-        per plan and shared by every batch item that replays it.
+        The layout walk is deterministic, so the segmentation *shape* — the
+        expensive per-gate cross-shard classification — is computed once and
+        reused.  By default the cache is keyed by plan identity (run_batch
+        replaying one plan); callers executing many *structurally identical*
+        plans (a Session parameter sweep, where each plan rebinds different
+        gate angles onto the same staged structure) pass a ``schedule_key``
+        so they all share one shape.  Only the shape is cached: the
+        per-plan segments are re-materialized from each plan's own gates,
+        so cached schedules never leak another circuit's angles.
         """
-        cached = self._segment_cache.get(id(plan))
-        if cached is not None and cached[0] is plan:
-            return cached[1]
-        local = self.machine.local_qubits
-        layout = QubitLayout(plan.num_qubits)
-        schedule = []
-        for stage in plan.stages:
-            target = stage.partition.logical_to_physical()
-            layout.update(target)
-            logical_to_physical = layout.logical_to_physical()
-            segments = split_stage_segments(stage, logical_to_physical, local)
-            schedule.append((target, logical_to_physical, segments))
-        if len(self._segment_cache) >= _SEGMENT_CACHE_PLANS:
-            self._segment_cache.pop(next(iter(self._segment_cache)))
-        self._segment_cache[id(plan)] = (plan, schedule)
+        key: object = schedule_key if schedule_key is not None else id(plan)
+        cached = self._segment_cache.get(key)
+        if cached is not None and (schedule_key is not None or cached[0] is plan):
+            owner, shape, schedule = cached
+            self.schedule_cache_hits += 1
+            if owner is plan:
+                # Same plan object: the fully materialized schedule is
+                # valid as-is (the run_batch one-plan-many-states path).
+                return schedule
+        else:
+            local = self.machine.local_qubits
+            layout = QubitLayout(plan.num_qubits)
+            shape = []
+            for stage in plan.stages:
+                target = stage.partition.logical_to_physical()
+                layout.update(target)
+                logical_to_physical = layout.logical_to_physical()
+                shapes = split_stage_segment_shapes(stage, logical_to_physical, local)
+                shape.append((target, logical_to_physical, shapes))
+            self.schedule_cache_misses += 1
+        # A different (structurally identical) plan under a shared
+        # schedule_key: re-materialize the shape with this plan's gates.
+        schedule = [
+            (target, l2p, materialize_stage_segments(stage, stage_shapes))
+            for stage, (target, l2p, stage_shapes) in zip(plan.stages, shape)
+        ]
+        if key not in self._segment_cache:
+            if len(self._segment_cache) >= _SEGMENT_CACHE_PLANS:
+                self._segment_cache.pop(next(iter(self._segment_cache)))
+        self._segment_cache[key] = (plan, shape, schedule)
         return schedule
 
     # ------------------------------------------------------------------
@@ -253,6 +284,7 @@ class ParallelRuntime:
         self,
         plan: ExecutionPlan,
         initial_state: StateVector | None = None,
+        schedule_key: str | None = None,
     ) -> tuple[StateVector, OffloadStats]:
         """Execute *plan*, scheduling each stage's shards across workers.
 
@@ -260,6 +292,11 @@ class ParallelRuntime:
         for any worker count: every shard sees the identical kernel
         sequence on private buffers, and segment barriers impose the same
         cross-segment ordering.
+
+        ``schedule_key`` (optional) names the plan's *structure*: plans that
+        share it (structurally identical circuits planned under one Session
+        cache key) reuse one cached segmentation shape instead of
+        re-classifying every gate (see :meth:`_plan_schedule`).
         """
         machine = self.machine
         n = plan.num_qubits
@@ -289,7 +326,9 @@ class ParallelRuntime:
         stats.per_worker = [WorkerStats(worker=w) for w in range(width)]
 
         layout = QubitLayout(n)
-        for target, logical_to_physical, segments in self._plan_schedule(plan):
+        for target, logical_to_physical, segments in self._plan_schedule(
+            plan, schedule_key
+        ):
             if target != layout.logical_to_physical():
                 permuted = permute_state(state, layout, target, out=state_scratch)
                 if permuted is not state:
@@ -355,6 +394,7 @@ class ParallelRuntime:
         self,
         plans: ExecutionPlan | Iterable,
         initial_states: Sequence[StateVector | None] | None = None,
+        schedule_keys: str | Sequence[str | None] | None = None,
     ) -> list[tuple[StateVector, OffloadStats]]:
         """Execute a batch of problems, amortising planning and buffers.
 
@@ -365,6 +405,11 @@ class ParallelRuntime:
           all buffers shared; the heavy-traffic scenario);
         * ``run_batch([plan0, plan1, ...])`` — many plans from |0...0>;
         * ``run_batch([(plan0, s0), (plan1, s1), ...])`` — explicit pairs.
+
+        ``schedule_keys`` is either one structure key shared by every item
+        (a parameter sweep of structurally identical plans) or one key per
+        item (see :meth:`execute`); ``None`` entries fall back to per-plan
+        identity caching.
 
         Returns one ``(final_state, stats)`` per problem, in order.  The
         problems run back to back — shards are the parallel dimension, so
@@ -393,7 +438,18 @@ class ParallelRuntime:
                 else:
                     plan, state = item
                     items.append((plan, state))
-        return [self.execute(plan, state) for plan, state in items]
+        if schedule_keys is None or isinstance(schedule_keys, str):
+            keys: list[str | None] = [schedule_keys] * len(items)
+        else:
+            keys = list(schedule_keys)
+            if len(keys) != len(items):
+                raise ValueError(
+                    f"{len(keys)} schedule keys but {len(items)} batch items"
+                )
+        return [
+            self.execute(plan, state, schedule_key=key)
+            for (plan, state), key in zip(items, keys)
+        ]
 
 
 def execute_plan_parallel(

@@ -1,0 +1,192 @@
+"""Structural plan cache — amortise partitioning across a parameter sweep.
+
+Atlas-style staged simulation pays an expensive preprocessing step (ILP
+staging + DP kernelization) per circuit.  For the repository's variational
+workloads (``vqc``/``qsvm`` parameter sweeps) every circuit in the sweep is
+*structurally identical* — same gate sequence, different rotation angles —
+so the plan's stage boundaries, qubit partitions and kernel grouping are
+identical too.  The cache exploits that:
+
+* the key combines :meth:`Circuit.structural_key` (gate structure + matrix
+  sparsity patterns, angles excluded) with the machine configuration and
+  the planner configuration, so a hit is only possible when partitioning
+  would provably make the same decisions;
+* a hit returns the cached plan *re-bound* to the new circuit's gates
+  (:func:`rebind_plan`): the stage/kernel skeleton — partitions, kernel
+  boundaries, costs — is shared, while every gate object comes from the
+  circuit actually being executed, so angles are never stale.
+
+The cache is an LRU over a bounded number of structures and is owned by a
+:class:`repro.session.Session`; it is not thread-safe on its own.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..circuits.circuit import Circuit
+from ..core.kernel import Kernel, KernelSequence
+from ..core.partitioner import PartitionReport
+from ..core.plan import ExecutionPlan, Stage
+
+__all__ = ["CacheStats", "PlanCache", "freeze_config", "plan_cache_key", "rebind_plan"]
+
+
+def freeze_config(obj) -> object:
+    """Recursively convert *obj* into a hashable structure for cache keys.
+
+    Handles dataclasses (frozen or not), mappings, and sequences; scalars
+    pass through.  Two configs freeze equal exactly when every field
+    compares equal, which is the correctness condition for sharing a plan.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__name__,
+            tuple(
+                (f.name, freeze_config(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        )
+    if isinstance(obj, Mapping):
+        return tuple(sorted((k, freeze_config(v)) for k, v in obj.items()))
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj) if isinstance(obj, (set, frozenset)) else obj
+        return tuple(freeze_config(v) for v in items)
+    return obj
+
+
+def plan_cache_key(circuit: Circuit, machine, planner_key: object) -> tuple:
+    """The full cache key for planning *circuit* on *machine*.
+
+    ``planner_key`` identifies everything else that influences the plan:
+    the stager/kernelizer names and configs for the Atlas pipeline, or the
+    baseline simulator identity for modelled baseline backends.
+    """
+    return (circuit.structural_key(), freeze_config(machine), planner_key)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """Bounded LRU cache from structural plan keys to ``(plan, report)``.
+
+    The cached :class:`ExecutionPlan` is treated as immutable: callers get
+    either the stored object itself (when executing the very circuit that
+    built it) or a :func:`rebind_plan` copy — never a mutable alias.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, tuple[ExecutionPlan, PartitionReport | None]] = (
+            OrderedDict()
+        )
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple) -> tuple[ExecutionPlan, PartitionReport | None] | None:
+        """Look up *key*, counting a hit or miss and refreshing LRU order."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: tuple,
+        plan: ExecutionPlan,
+        report: PartitionReport | None = None,
+    ) -> None:
+        """Store ``(plan, report)`` under *key*, evicting the LRU entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = (plan, report)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def rebind_plan(plan: ExecutionPlan, circuit: Circuit) -> ExecutionPlan:
+    """Re-bind a cached plan's structure onto *circuit*'s gates.
+
+    *circuit* must share the structural key of the circuit the plan was
+    built from (the cache key guarantees it): the stage skeleton — qubit
+    partitions, stage membership, kernel boundaries, kernel types and costs
+    — carries over verbatim, while every gate object is taken from
+    *circuit* via the recorded ``gate_indices``, so the executed angles are
+    always the new circuit's.  The cached plan is not modified.
+    """
+    if plan.num_qubits != circuit.num_qubits:
+        raise ValueError(
+            f"plan spans {plan.num_qubits} qubits, circuit has {circuit.num_qubits}"
+        )
+    if plan.gate_count() != len(circuit):
+        raise ValueError(
+            f"plan covers {plan.gate_count()} gates, circuit has {len(circuit)}"
+        )
+    stages = []
+    for stage in plan.stages:
+        gates = [circuit.gates[i] for i in stage.gate_indices]
+        kernels = None
+        if stage.kernels is not None:
+            kernels = KernelSequence(
+                kernels=[
+                    Kernel(
+                        gates=tuple(gates[i] for i in kernel.gate_indices),
+                        qubits=kernel.qubits,
+                        kernel_type=kernel.kernel_type,
+                        cost=kernel.cost,
+                        gate_indices=kernel.gate_indices,
+                    )
+                    for kernel in stage.kernels
+                ]
+            )
+        stages.append(
+            Stage(
+                gates=gates,
+                partition=stage.partition,
+                kernels=kernels,
+                gate_indices=list(stage.gate_indices),
+            )
+        )
+    return ExecutionPlan(
+        num_qubits=plan.num_qubits, stages=stages, circuit_name=circuit.name
+    )

@@ -1,0 +1,166 @@
+"""Job and Result objects — what one ``Session.run`` call hands back.
+
+A :class:`Job` is the handle for one ``run`` call: an ordered list of
+per-circuit :class:`Result` objects plus job-level accounting.  A
+:class:`Result` carries everything produced for one circuit: the final
+state (when the job executed functionally), measurement samples,
+observable expectation values, the modelled timing, and plan provenance —
+which plan ran, whether it came from the structural cache, and which
+backend executed it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..core.partitioner import PartitionReport
+from ..core.plan import ExecutionPlan
+from ..runtime.timeline import TimingBreakdown
+from ..sim.statevector import StateVector
+
+__all__ = ["Job", "Result", "normalize_observable"]
+
+
+def normalize_observable(observable) -> tuple[int, ...]:
+    """Canonicalise an observable spec into a sorted tuple of qubit indices.
+
+    Supported specs — all denoting a product of Pauli-Z operators:
+
+    * ``int q`` — ``<Z_q>``;
+    * an iterable of ints — ``<Z_{q0} Z_{q1} ...>`` (empty = identity);
+    * a string like ``"z0"`` or ``"z0*z3"`` — the same, spelled readably.
+
+    The canonical form sorts the qubits and cancels pairs (``Z_q Z_q = I``),
+    so ``(1, 0)``, ``"z0*z1"`` and ``(0, 1, 2, 2)`` all normalise to
+    ``(0, 1)``.
+    """
+    if isinstance(observable, (int, np.integer)):
+        return (int(observable),)
+    if isinstance(observable, str):
+        qubits = []
+        for term in observable.lower().split("*"):
+            term = term.strip()
+            if not term.startswith("z") or not term[1:].isdigit():
+                raise ValueError(
+                    f"unsupported observable {observable!r}; expected e.g. 'z0' or 'z0*z3'"
+                )
+            qubits.append(int(term[1:]))
+    else:
+        try:
+            qubits = [int(q) for q in observable]
+        except TypeError as exc:
+            raise ValueError(f"unsupported observable spec {observable!r}") from exc
+    odd = {q for q in set(qubits) if qubits.count(q) % 2}
+    return tuple(sorted(odd))
+
+
+@dataclass
+class Result:
+    """Everything produced for one circuit of a job."""
+
+    circuit_name: str
+    backend: str
+    #: Final state; ``None`` for modelled-only (``execute=False``) jobs.
+    state: StateVector | None
+    #: Modelled wall-clock time on the target cluster.
+    timing: TimingBreakdown
+    #: The execution plan that ran (possibly re-bound from the cache).
+    plan: ExecutionPlan
+    #: Preprocessing statistics; ``None`` when the plan came from the cache
+    #: (there was no preprocessing) or from a baseline partitioner.
+    report: PartitionReport | None
+    #: Whether the plan came from the session's structural cache.
+    cache_hit: bool
+    #: This circuit's share of the job's measured execution wall time —
+    #: the batch total divided evenly across its circuits, not a per-circuit
+    #: measurement (batches run through one ``run_batch`` call; use
+    #: :attr:`Job.wall_seconds` for the whole job).
+    wall_seconds: float
+    #: Sampled basis-state indices (``shots`` draws), or ``None``.
+    samples: np.ndarray | None = None
+    shots: int | None = None
+    #: Observable spec (normalised qubit tuple) -> expectation value.
+    expectations: dict[tuple[int, ...], float] = field(default_factory=dict)
+    #: Executor-specific stats: ``ExecutionTrace`` (incore), ``OffloadStats``
+    #: (offload/parallel), or ``None``.
+    execution_stats: object | None = None
+
+    def expectation(self, observable) -> float:
+        """Look up a computed expectation value by observable spec."""
+        key = normalize_observable(observable)
+        try:
+            return self.expectations[key]
+        except KeyError as exc:
+            raise KeyError(
+                f"observable {observable!r} was not requested for this run"
+            ) from exc
+
+    def counts(self) -> dict[int, int]:
+        """Histogram of sampled basis-state indices (requires ``shots``)."""
+        if self.samples is None:
+            raise ValueError("no samples: run with shots=...")
+        return dict(Counter(int(s) for s in self.samples))
+
+    def summary(self) -> dict:
+        return {
+            "circuit": self.circuit_name,
+            "backend": self.backend,
+            "cache_hit": self.cache_hit,
+            "num_stages": self.plan.num_stages,
+            "num_kernels": self.plan.num_kernels,
+            "modelled_seconds": self.timing.total_seconds,
+            "wall_seconds": self.wall_seconds,
+            "shots": self.shots,
+            "expectations": {k: v for k, v in self.expectations.items()},
+        }
+
+
+@dataclass
+class Job:
+    """Handle for one ``Session.run`` call: ordered per-circuit results."""
+
+    results: list[Result]
+    backend: str
+    #: Measured wall time of the whole call (planning + execution), seconds.
+    wall_seconds: float
+    #: How many of the job's plans came from the structural cache.
+    cache_hits: int = 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[Result]:
+        return iter(self.results)
+
+    def __getitem__(self, idx) -> Result:
+        return self.results[idx]
+
+    @property
+    def result(self) -> Result:
+        """The single result of a one-circuit job."""
+        if len(self.results) != 1:
+            raise ValueError(
+                f"job has {len(self.results)} results; index it or iterate"
+            )
+        return self.results[0]
+
+    def states(self) -> list[StateVector | None]:
+        return [r.state for r in self.results]
+
+    @property
+    def modelled_seconds(self) -> float:
+        """Summed modelled cluster time across the job's circuits."""
+        return sum(r.timing.total_seconds for r in self.results)
+
+    def summary(self) -> dict:
+        return {
+            "backend": self.backend,
+            "num_circuits": len(self.results),
+            "cache_hits": self.cache_hits,
+            "wall_seconds": self.wall_seconds,
+            "modelled_seconds": self.modelled_seconds,
+        }

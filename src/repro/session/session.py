@@ -1,0 +1,438 @@
+"""The :class:`Session` facade — one front door for every execution path.
+
+A Session owns the three things a production simulation service must
+amortise across requests:
+
+* a **backend registry instance** — adapters over every executor
+  (:mod:`repro.session.backends`), with ``"auto"`` picking in-core vs.
+  shard-streaming per job by state size vs. device memory;
+* a **structural plan cache** (:mod:`repro.session.cache`) — ILP staging
+  and DP kernelization run once per circuit *structure*; every further
+  circuit of a parameter sweep re-binds the cached plan to its own angles;
+* a **job API** — ``run(circuit_or_circuits, shots=..., observables=...)``
+  returning :class:`~repro.session.result.Job`/:class:`~repro.session.result.Result`
+  objects carrying states, samples, expectation values, modelled timing and
+  plan provenance, with batches routed through
+  :meth:`ParallelRuntime.run_batch` so pools, buffers and cached
+  segmentation shapes are reused.
+
+Quick start::
+
+    from repro import MachineConfig, Session
+    from repro.circuits.library import vqc
+
+    machine = MachineConfig.for_circuit(12, num_shards=4, local_qubits=10)
+    with Session(machine) as session:
+        sweep = [vqc(12, seed=s) for s in range(50)]
+        job = session.run(sweep, shots=256, observables=[0, (0, 1)])
+        print(session.stats.as_dict())   # 1 plan built, 49 cache hits
+
+:func:`repro.simulate` is a thin one-shot shim over this class.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..cluster.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..cluster.machine import MachineConfig
+from ..core.kernelize import KernelizeConfig
+from ..core.partitioner import PartitionReport, partition
+from ..core.plan import ExecutionPlan
+from ..sim.statevector import StateVector
+from .backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ParallelBackend,
+    make_backend,
+    select_auto_backend,
+)
+from .cache import PlanCache, freeze_config, plan_cache_key, rebind_plan
+from .result import Job, Result, normalize_observable
+
+__all__ = ["Session", "SessionStats"]
+
+
+@dataclass
+class SessionStats:
+    """Aggregate accounting of one Session's lifetime."""
+
+    jobs: int = 0
+    circuits_run: int = 0
+    #: Plans actually built (cache misses that ran the partitioner).
+    plans_built: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Functional executions per backend name.
+    backend_runs: dict[str, int] = field(default_factory=dict)
+    #: Wall time spent partitioning (cache misses only), seconds.
+    plan_seconds: float = 0.0
+    #: Wall time spent in functional execution, seconds.
+    execute_seconds: float = 0.0
+    #: Parallel-runtime segmentation cache counters (hits, misses).
+    schedule_cache_hits: int = 0
+    schedule_cache_misses: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "circuits_run": self.circuits_run,
+            "plans_built": self.plans_built,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": (
+                self.cache_hits / (self.cache_hits + self.cache_misses)
+                if (self.cache_hits + self.cache_misses)
+                else 0.0
+            ),
+            "backend_runs": dict(self.backend_runs),
+            "plan_seconds": self.plan_seconds,
+            "execute_seconds": self.execute_seconds,
+            "schedule_cache_hits": self.schedule_cache_hits,
+            "schedule_cache_misses": self.schedule_cache_misses,
+        }
+
+
+class Session:
+    """Unified facade over partitioning, caching, and every execution backend.
+
+    Parameters
+    ----------
+    machine:
+        Default cluster configuration for this session's jobs; individual
+        :meth:`run` calls may override it.
+    backend:
+        Default backend name: ``"auto"`` (selection by state size vs.
+        device memory), one of the registered executors (``"reference"``,
+        ``"incore"``, ``"offload"``, ``"parallel"``), or a modelled
+        baseline (``"hyquas"``, ``"cuquantum"``, ``"qiskit"``).
+    cost_model, stager, kernelizer, kernelize_config:
+        Planning configuration (see :func:`repro.core.partition`); part of
+        the plan-cache key.
+    seed:
+        Seed of the session RNG used for measurement sampling.  Repeated
+        ``run(shots=...)`` calls draw *independent* samples from this one
+        generator; two sessions with equal seeds draw identical sequences.
+    cache_size:
+        Maximum number of plan structures kept in the cache.
+
+    Use as a context manager (or call :meth:`close`) to release
+    backend-owned worker pools and buffers.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        backend: str = "auto",
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        stager: str = "ilp",
+        kernelizer: str = "atlas",
+        kernelize_config: KernelizeConfig | None = None,
+        ilp_time_limit: float | None = 120.0,
+        seed: int = 0,
+        cache_size: int = 128,
+    ):
+        if backend != "auto" and backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: "
+                f"{['auto'] + sorted(BACKENDS)}"
+            )
+        self.machine = machine
+        self.backend = backend
+        self.cost_model = cost_model
+        self.stager = stager
+        self.kernelizer = kernelizer
+        self.kernelize_config = kernelize_config
+        self.ilp_time_limit = ilp_time_limit
+        self.cache = PlanCache(maxsize=cache_size)
+        self.stats = SessionStats()
+        self._rng = np.random.default_rng(seed)
+        self._backends: dict[str, ExecutionBackend] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release every backend's pools/buffers and drop the plan cache."""
+        for backend in self._backends.values():
+            backend.close()
+        self._backends.clear()
+        self.cache.clear()
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # Backend resolution
+    # ------------------------------------------------------------------
+
+    def backend_instance(self, name: str) -> ExecutionBackend:
+        """This session's instance of the backend registered under *name*."""
+        if self._closed:
+            raise RuntimeError("Session is closed")
+        instance = self._backends.get(name)
+        if instance is None:
+            instance = self._backends[name] = make_backend(name)
+        return instance
+
+    def resolve_backend(
+        self, num_qubits: int, machine: MachineConfig, backend: str | None = None
+    ) -> str:
+        """The backend name a job with these parameters will run on."""
+        name = backend if backend is not None else self.backend
+        if name == "auto":
+            return select_auto_backend(machine, num_qubits)
+        if name not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {name!r}; known: {['auto'] + sorted(BACKENDS)}"
+            )
+        return name
+
+    def _resolve_machine(self, machine: MachineConfig | None) -> MachineConfig:
+        resolved = machine if machine is not None else self.machine
+        if resolved is None:
+            raise ValueError(
+                "no machine: pass machine= to Session(...) or to run(...)"
+            )
+        return resolved
+
+    # ------------------------------------------------------------------
+    # Planning (through the structural cache)
+    # ------------------------------------------------------------------
+
+    def _planner_key(self) -> tuple:
+        return (
+            "atlas-pipeline",
+            self.stager,
+            self.kernelizer,
+            freeze_config(self.kernelize_config),
+            freeze_config(self.cost_model),
+        )
+
+    def plan_for(
+        self,
+        circuit: Circuit,
+        machine: MachineConfig | None = None,
+        backend: str | None = None,
+    ) -> tuple[ExecutionPlan, PartitionReport | None, bool, str]:
+        """Plan *circuit* through the structural cache.
+
+        Returns ``(plan, report, cache_hit, schedule_key)``.  On a hit the
+        plan is the cached structure re-bound to this circuit's gates and
+        ``report`` is ``None`` (no preprocessing happened); on a miss the
+        partitioner runs and the result is cached.  ``schedule_key`` is a
+        stable string naming the structure, passed to runtimes that cache
+        per-structure schedules.
+        """
+        machine = self._resolve_machine(machine)
+        backend_name = self.resolve_backend(circuit.num_qubits, machine, backend)
+        backend_obj = self.backend_instance(backend_name)
+
+        planner_key = backend_obj.planner_key()
+        if planner_key is None:
+            planner_key = self._planner_key()
+        key = plan_cache_key(circuit, machine, planner_key)
+        # Collision-resistant structure name (built-in hash() is not): the
+        # blake2b structural fingerprint plus a digest of the machine and
+        # planner parts of the cache key.
+        tail = hashlib.blake2b(repr(key[1:]).encode(), digest_size=8).hexdigest()
+        schedule_key = f"session-plan-{key[0]}-{tail}"
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            plan, _report = cached
+            self.stats.cache_hits += 1
+            return rebind_plan(plan, circuit), None, True, schedule_key
+        self.stats.cache_misses += 1
+
+        t0 = time.perf_counter()
+        backend_plan = backend_obj.make_plan(circuit, machine)
+        if backend_plan is not None:
+            plan, report = backend_plan, None
+        else:
+            plan, report = partition(
+                circuit,
+                machine,
+                cost_model=self.cost_model,
+                stager=self.stager,
+                kernelizer=self.kernelizer,
+                kernelize_config=self.kernelize_config,
+                ilp_time_limit=self.ilp_time_limit,
+            )
+        self.stats.plan_seconds += time.perf_counter() - t0
+        self.stats.plans_built += 1
+        self.cache.put(key, plan, report)
+        return plan, report, False, schedule_key
+
+    # ------------------------------------------------------------------
+    # The job API
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        circuits: Circuit | list[Circuit] | tuple[Circuit, ...],
+        *,
+        shots: int | None = None,
+        observables=None,
+        initial_state: StateVector | None = None,
+        initial_states=None,
+        backend: str | None = None,
+        machine: MachineConfig | None = None,
+        seed: int | None = None,
+        execute: bool = True,
+    ) -> Job:
+        """Run one circuit or a batch and return a :class:`Job`.
+
+        Parameters
+        ----------
+        circuits:
+            One :class:`Circuit` or a sequence of circuits.  Structurally
+            identical circuits (a parameter sweep) are partitioned once.
+        shots:
+            When given, sample that many basis-state measurements per
+            circuit into :attr:`Result.samples` using the session RNG
+            (independent across calls, reproducible per session seed).
+        observables:
+            Pauli-Z product specs (see
+            :func:`repro.session.result.normalize_observable`); expectation
+            values land in :attr:`Result.expectations`.
+        initial_state / initial_states:
+            One starting state for every circuit, or one per circuit.  A
+            single circuit with ``initial_states=[...]`` fans out into one
+            job item per state.  Default |0...0>.
+        backend, machine, seed:
+            Per-call overrides of the session defaults.
+        execute:
+            When False, skip functional execution: results carry the plan
+            and modelled timing with ``state=None`` (useful for circuits
+            too large to materialise, and for the modelled-comparison
+            drivers in :mod:`repro.analysis`).
+        """
+        single = isinstance(circuits, Circuit)
+        circuit_list = [circuits] if single else list(circuits)
+        if not circuit_list:
+            raise ValueError("no circuits to run")
+        if not execute and (shots is not None or observables):
+            raise ValueError(
+                "shots/observables need a functional execution; drop them or "
+                "run with execute=True"
+            )
+        machine = self._resolve_machine(machine)
+        for circuit in circuit_list:
+            machine.validate(circuit.num_qubits)
+
+        if initial_state is not None and initial_states is not None:
+            raise ValueError("pass initial_state or initial_states, not both")
+        if initial_states is not None:
+            initial_states = list(initial_states)
+            if single:
+                # One circuit fanned out over many starting states.
+                circuit_list = circuit_list * len(initial_states)
+            elif len(initial_states) != len(circuit_list):
+                raise ValueError(
+                    f"{len(circuit_list)} circuits but "
+                    f"{len(initial_states)} initial states"
+                )
+            states = initial_states
+        else:
+            states = [initial_state] * len(circuit_list)
+
+        backend_name = self.resolve_backend(
+            circuit_list[0].num_qubits, machine, backend
+        )
+        backend_obj = self.backend_instance(backend_name)
+        rng = self._rng if seed is None else np.random.default_rng(seed)
+        observable_keys = (
+            [normalize_observable(o) for o in observables] if observables else []
+        )
+
+        t_job = time.perf_counter()
+        planned: dict[int, tuple[ExecutionPlan, PartitionReport | None, bool, str]] = {}
+        items = []
+        for circuit, state in zip(circuit_list, states):
+            if id(circuit) in planned:
+                # The same circuit object fanned out over several initial
+                # states: reuse the exact plan (not even a rebind).
+                plan, report, hit, schedule_key = planned[id(circuit)]
+            else:
+                plan, report, hit, schedule_key = self.plan_for(
+                    circuit, machine, backend_name
+                )
+                planned[id(circuit)] = (plan, report, hit, schedule_key)
+            items.append((circuit, state, plan, report, hit, schedule_key))
+
+        if execute:
+            t0 = time.perf_counter()
+            outs = backend_obj.run_batch(
+                [(plan, state, circuit) for circuit, state, plan, *_ in items],
+                machine,
+                schedule_keys=[schedule_key for *_, schedule_key in items],
+            )
+            execute_seconds = time.perf_counter() - t0
+            self.stats.execute_seconds += execute_seconds
+            self.stats.backend_runs[backend_name] = (
+                self.stats.backend_runs.get(backend_name, 0) + len(items)
+            )
+        else:
+            outs = [(None, None)] * len(items)
+            execute_seconds = 0.0
+
+        per_item_wall = execute_seconds / len(items)
+        results = []
+        for (circuit, state, plan, report, hit, schedule_key), (out_state, exec_stats) in zip(
+            items, outs
+        ):
+            samples = None
+            expectations: dict[tuple[int, ...], float] = {}
+            if out_state is not None:
+                if shots is not None:
+                    samples = out_state.sample(shots, rng)
+                for key in observable_keys:
+                    expectations[key] = out_state.expectation_z_product(key)
+            results.append(
+                Result(
+                    circuit_name=circuit.name,
+                    backend=backend_name,
+                    state=out_state,
+                    timing=backend_obj.timing(plan, machine, self.cost_model),
+                    plan=plan,
+                    report=report,
+                    cache_hit=hit,
+                    wall_seconds=per_item_wall,
+                    samples=samples,
+                    shots=shots if samples is not None else None,
+                    expectations=expectations,
+                    execution_stats=exec_stats,
+                )
+            )
+
+        if isinstance(backend_obj, ParallelBackend):
+            hits, misses = backend_obj.schedule_cache_counters()
+            self.stats.schedule_cache_hits = hits
+            self.stats.schedule_cache_misses = misses
+        self.stats.jobs += 1
+        self.stats.circuits_run += len(results)
+        job = Job(
+            results=results,
+            backend=backend_name,
+            wall_seconds=time.perf_counter() - t_job,
+            cache_hits=sum(1 for r in results if r.cache_hit),
+        )
+        return job
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Session backend={self.backend!r} machine={self.machine!r} "
+            f"cache={len(self.cache)} entries>"
+        )

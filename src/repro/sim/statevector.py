@@ -173,14 +173,51 @@ class StateVector:
         marg = self.marginal_probabilities([qubit])
         return float(marg[0] - marg[1])
 
-    def sample(self, shots: int, seed: int = 0) -> np.ndarray:
+    def expectation_z_product(self, qubits: Sequence[int]) -> float:
+        """Expectation value of the Pauli-Z product over *qubits*.
+
+        ``<Z_{q0} Z_{q1} ...>`` — each basis state contributes its
+        probability signed by the parity of its bits at the listed qubits.
+        An empty qubit list is the identity observable (always 1.0), and a
+        qubit listed twice cancels (``Z_q Z_q = I``), so only qubits with
+        odd multiplicity contribute.
+        """
+        mask = 0
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(f"qubit {q} out of range [0, {self.num_qubits})")
+            mask ^= 1 << q
+        if not mask:
+            return 1.0
+        indices = np.arange(self._data.size, dtype=np.uint64) & np.uint64(mask)
+        parity = np.zeros(self._data.size, dtype=np.uint64)
+        while mask:
+            parity ^= indices & np.uint64(1)
+            indices >>= np.uint64(1)
+            mask >>= 1
+        signs = 1.0 - 2.0 * parity.astype(np.float64)
+        return float(np.dot(self.probabilities(), signs))
+
+    def sample(
+        self, shots: int, seed: int | np.random.Generator = 0
+    ) -> np.ndarray:
         """Sample basis-state indices according to the Born rule.
 
         The distribution is normalized and scanned once (cumulative sum +
         ``searchsorted``) regardless of the shot count, instead of the
         per-call re-normalization ``rng.choice(p=...)`` performs.
+
+        *seed* is either an integer (a fresh ``np.random.default_rng`` per
+        call, so equal seeds give equal samples) or a
+        ``np.random.Generator``, which is advanced in place — pass a shared
+        generator to draw independent but reproducible batches across calls
+        (what :meth:`repro.session.Session.run` does for repeated
+        ``shots=`` jobs).
         """
-        rng = np.random.default_rng(seed)
+        if isinstance(seed, np.random.Generator):
+            rng = seed
+        else:
+            rng = np.random.default_rng(seed)
         cdf = np.cumsum(self.probabilities())
         if cdf[-1] <= 0.0:
             raise ValueError("cannot sample from a zero-norm state")
