@@ -40,6 +40,11 @@ class TestMicroSpeedups:
     def test_1q2q_mix_speedup(self, micro_results):
         assert micro_results["mix_1q2q_speedup"] > 2.5
 
+    def test_wide_fused_gemm_routing_beats_tensordot(self, micro_results):
+        # Satellite pin: k>=3 fused matrices on plannable positions run as
+        # one streaming gemm (was ~1.2x as pure tensordot, ~4x routed).
+        assert micro_results["fused_3q"]["speedup"] > 1.5
+
 
 class TestPlanSpeedup:
     def test_execute_plan_beats_seed_executor(self):
@@ -92,6 +97,29 @@ class TestSessionAmortisation:
         assert session_results["speedup"] >= 5.0
 
 
+class TestCompiledPrograms:
+    @pytest.fixture(scope="class")
+    def compile_results(self):
+        return run_bench.run_compile_bench(num_qubits=10, repeats=3)
+
+    def test_compiled_reexecution_beats_interpreter_2x(self, compile_results):
+        assert compile_results["speedup_vs_interpreted"] >= 2.0
+        assert compile_results["bit_exact_incore"]
+
+    def test_batched_beats_loop_1_5x(self, compile_results):
+        assert compile_results["batched"]["speedup_vs_loop"] >= 1.5
+        assert compile_results["batched"]["states_match"]
+        assert compile_results["batched"]["max_abs_diff"] <= 1e-10
+
+    def test_every_path_agrees(self, compile_results):
+        assert compile_results["offload_state_matches"]
+        assert all(compile_results["parallel_bit_exact"].values())
+
+    def test_rebind_reuses_constant_ops(self, compile_results):
+        assert compile_results["rebind_ops_reused"] > 0
+        assert compile_results["rebind_seconds"] < compile_results["compile_seconds"] * 5
+
+
 class TestBaselineRegression:
     def test_quick_run_has_no_regression_vs_committed_baseline(self):
         baseline_path = run_bench.DEFAULT_BASELINE
@@ -100,7 +128,7 @@ class TestBaselineRegression:
         baseline = json.loads(baseline_path.read_text())
         current = run_bench.run_suite(
             micro_sizes=[16], plan_sizes=[14], repeats=3, offload_sizes=[12],
-            session_sizes=[10], session_sweep=10,
+            session_sizes=[10], session_sweep=10, compile_sizes=[10],
         )
         problems = run_bench.check_regression(current, baseline, threshold=2.0)
         assert not problems, "\n".join(problems)
@@ -108,7 +136,7 @@ class TestBaselineRegression:
     def test_check_regression_flags_slowdowns(self):
         current = run_bench.run_suite(
             micro_sizes=[16], plan_sizes=[14], repeats=2, offload_sizes=[12],
-            session_sizes=[10], session_sweep=4,
+            session_sizes=[10], session_sweep=4, compile_sizes=[10],
         )
         assert run_bench.check_regression(current, current) == []
         slowed = json.loads(json.dumps(current))
@@ -121,5 +149,10 @@ class TestBaselineRegression:
         slowed["offload"]["12"]["parallel"]["2"]["bit_exact"] = False
         slowed["session"]["10"]["execute_seconds_warm"] *= 10.0
         slowed["session"]["10"]["cache_hits"] = 0
+        slowed["compile"]["10"]["compiled_seconds_per_run"] *= 10.0
+        slowed["compile"]["10"]["speedup_vs_interpreted"] = 1.0
+        slowed["compile"]["10"]["batched"]["speedup_vs_loop"] = 1.0
+        slowed["compile"]["10"]["batched"]["states_match"] = False
+        slowed["compile"]["10"]["parallel_bit_exact"]["2"] = False
         problems = run_bench.check_regression(current=slowed, baseline=current)
-        assert len(problems) >= 7
+        assert len(problems) >= 11

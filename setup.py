@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Atlas reproduction: hierarchical partitioning for quantum circuit "
         "simulation (SC 2024)"

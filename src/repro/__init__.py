@@ -46,11 +46,11 @@ from .core import (
     PartitionReport,
     partition,
 )
-from .runtime import TimingBreakdown, execute_plan, model_simulation_time
+from .runtime import TimingBreakdown, compile_plan, execute_plan, model_simulation_time
 from .session import Job, Result, Session
-from .sim import StateVector, simulate_reference
+from .sim import CompiledProgram, StateVector, simulate_reference
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Circuit",
@@ -68,6 +68,8 @@ __all__ = [
     "partition",
     "PartitionReport",
     "execute_plan",
+    "compile_plan",
+    "CompiledProgram",
     "model_simulation_time",
     "TimingBreakdown",
     "Session",

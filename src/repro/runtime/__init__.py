@@ -1,14 +1,20 @@
-"""Execution runtime: functional executors, sharding, DRAM offload, parallel shard scheduling, and the timing model."""
+"""Execution runtime: plan compilation, functional executors, sharding, DRAM offload, parallel shard scheduling, and the timing model."""
 
-from .executor import ExecutionTrace, execute_plan
+from .compile import clear_program_cache, compile_plan, compiled_program_for
+from .executor import ExecutionTrace, execute_plan, trace_for_program
 from .offload import OffloadStats, WorkerStats, execute_plan_offloaded
 from .parallel import ParallelRuntime, execute_plan_parallel
-from .sharding import QubitLayout, permute_state, shard_slices
+from .sharding import QubitLayout, permutation_axes, permute_state, shard_slices
 from .timeline import TimingBreakdown, model_simulation_time
 
 __all__ = [
+    "clear_program_cache",
+    "compile_plan",
+    "compiled_program_for",
     "execute_plan",
+    "trace_for_program",
     "ExecutionTrace",
+    "permutation_axes",
     "execute_plan_offloaded",
     "OffloadStats",
     "WorkerStats",

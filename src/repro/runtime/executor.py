@@ -12,6 +12,13 @@ qubit of every gate must be mapped to a local physical position
 (``< L``).  Violations raise immediately instead of silently producing a
 plan the real machine could not run without extra communication.
 
+By default the plan is first lowered to a
+:class:`~repro.sim.program.CompiledProgram` (memoized per plan object, see
+:mod:`repro.runtime.compile`) and the hot loop is a tight dispatch over
+pre-resolved ops; ``compiled=False`` keeps the original gate-at-a-time
+interpreter, which the compiled path is bit-exact with (the property tests
+and the benchmark gate check this).
+
 This single-stream executor is the correctness reference for the
 shard-level runtimes: :mod:`repro.runtime.offload` replays the same plan
 shard by shard, and :mod:`repro.runtime.parallel` schedules those shards
@@ -30,10 +37,12 @@ from ..core.kernel import Kernel, KernelType
 from ..core.plan import ExecutionPlan
 from ..sim.apply import apply_gate_buffered, tracked_empty
 from ..sim.fusion import fused_unitary_cached
+from ..sim.program import CompiledProgram, thread_workspace
 from ..sim.statevector import StateVector
+from .compile import compiled_program_for
 from .sharding import QubitLayout, permute_state
 
-__all__ = ["ExecutionTrace", "execute_plan"]
+__all__ = ["ExecutionTrace", "execute_plan", "trace_for_program"]
 
 
 @dataclass
@@ -81,11 +90,24 @@ def _check_locality(gate: Gate, logical_to_physical: dict[int, int], local_qubit
             )
 
 
+def trace_for_program(program: CompiledProgram) -> ExecutionTrace:
+    """An :class:`ExecutionTrace` from a compiled program's metadata (the
+    counts are recorded at compile time; execution itself traces nothing)."""
+    return ExecutionTrace(
+        num_stages=program.num_stages,
+        num_kernels=program.num_kernels,
+        num_permutations=program.num_permutations,
+        kernels_per_stage=list(program.kernels_per_stage),
+        locality_checked=program.locality_checked,
+    )
+
+
 def execute_plan(
     plan: ExecutionPlan,
     initial_state: StateVector | None = None,
     machine: MachineConfig | None = None,
     check_locality: bool = True,
+    compiled: bool = True,
 ) -> tuple[StateVector, ExecutionTrace]:
     """Execute *plan* and return the final state plus an execution trace.
 
@@ -100,8 +122,22 @@ def execute_plan(
         used for the locality check, otherwise the per-stage partition's
         local-set size is used.
     check_locality:
-        Verify the staging invariant while executing.
+        Verify the staging invariant while executing (at compile time on
+        the compiled path).
+    compiled:
+        Lower the plan to a :class:`~repro.sim.program.CompiledProgram`
+        (memoized per plan object) and execute the op stream — the default
+        and fast path.  ``False`` runs the original per-gate interpreter;
+        both produce bit-identical states.
     """
+    if compiled:
+        program = compiled_program_for(plan, machine, check_locality)
+        # Per-thread workspace: concurrent execute_plan calls on one plan
+        # share the memoized op stream but never a buffer, keeping this
+        # entry point as thread-safe as the interpreter below.
+        state = program.run(initial_state, workspace=thread_workspace())
+        return state, trace_for_program(program)
+
     n = plan.num_qubits
     state = tracked_empty(1 << n)
     if initial_state is None:

@@ -46,10 +46,17 @@ from ..core.kernel import KernelType
 from ..core.plan import ExecutionPlan
 from ..sim.apply import apply_gate_buffered, tracked_empty
 from ..sim.fusion import fused_unitary_cached
+from ..sim.program import compile_unitary_op, thread_workspace
 from ..sim.statevector import StateVector
 from .sharding import QubitLayout, permute_state, shard_slices
 
-__all__ = ["OffloadStats", "WorkerStats", "execute_plan_offloaded"]
+__all__ = [
+    "OffloadStats",
+    "WorkerStats",
+    "compile_segment_ops",
+    "execute_plan_offloaded",
+    "run_segment_ops",
+]
 
 
 @dataclass
@@ -422,6 +429,76 @@ def group_uses_fusion(
     )
 
 
+def compile_segment_ops(
+    groups: list[tuple[list[Gate], object]],
+    logical_to_physical: dict[int, int],
+    local_qubits: int,
+) -> list[tuple[str, object]]:
+    """Compile a shards-segment's kernel groups into per-shard ops.
+
+    Shard-local work — fused kernels and gates whose qubits all map to
+    local physical positions — is lowered **once** to
+    :class:`~repro.sim.program.CompiledOp` closures (fusion, analysis,
+    logical→physical translation and gemm planning all resolved here), so
+    every shard of every execution replays a pre-resolved stream instead of
+    re-deriving it.  Gates touching non-local qubits keep the dynamic
+    per-shard path (their reduction depends on the shard index).  Returns
+    ``("local", op)`` / ``("dynamic", gate)`` entries for
+    :func:`run_segment_ops`.
+    """
+    ops: list[tuple[str, object]] = []
+    for gates, ktype in groups:
+        if group_uses_fusion(gates, ktype, logical_to_physical, local_qubits):
+            matrix, logical_qubits = fused_unitary_cached(tuple(gates))
+            physical = tuple(logical_to_physical[q] for q in logical_qubits)
+            ops.append(
+                ("local", compile_unitary_op(matrix, physical, local_qubits))
+            )
+            continue
+        for gate in gates:
+            physical = [logical_to_physical[q] for q in gate.qubits]
+            if all(p < local_qubits for p in physical):
+                ops.append(
+                    (
+                        "local",
+                        compile_unitary_op(
+                            gate.matrix(), tuple(physical), local_qubits
+                        ),
+                    )
+                )
+            else:
+                ops.append(("dynamic", gate))
+    return ops
+
+
+def run_segment_ops(
+    data: np.ndarray,
+    scratch: np.ndarray,
+    ops: list[tuple[str, object]],
+    logical_to_physical: dict[int, int],
+    local_qubits: int,
+    shard_index: int,
+    workspace=None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Apply a compiled shards-segment (:func:`compile_segment_ops`) to one
+    loaded shard.  Same contract as :func:`run_groups_on_shard`; compiled
+    local ops make the hot loop a tight pre-resolved dispatch.  *workspace*
+    defaults to the calling thread's private buffer set, keeping concurrent
+    shard workers race-free.
+    """
+    if workspace is None:
+        workspace = thread_workspace()
+    index = shard_index
+    for kind, payload in ops:
+        if kind == "local":
+            data, scratch = payload.run(data, scratch, workspace)
+        else:
+            data, scratch, index = _gate_on_shard(
+                data, scratch, payload, logical_to_physical, local_qubits, index
+            )
+    return data, scratch, index
+
+
 def run_groups_on_shard(
     data: np.ndarray,
     scratch: np.ndarray,
@@ -511,6 +588,10 @@ def execute_plan_offloaded(
                 )
                 continue
             relabels = segment_relabels_shards(payload, logical_to_physical, local)
+            # Lower the segment's local work once; every shard replays the
+            # compiled op stream (fusion/analysis/planning amortised over
+            # the whole shard sweep instead of paid per shard).
+            segment_ops = compile_segment_ops(payload, logical_to_physical, local)
             shards = shard_slices(state, local)
             # Relabelled shards land at new indices, so they are stored into
             # the second DRAM array (every index is written exactly once —
@@ -524,8 +605,9 @@ def execute_plan_offloaded(
                 stats.shard_loads += 1
                 stats.bytes_transferred += data.nbytes
 
-                data, scratch, out_index = run_groups_on_shard(
-                    data, scratch, payload, logical_to_physical, local, shard_index
+                data, scratch, out_index = run_segment_ops(
+                    data, scratch, segment_ops, logical_to_physical, local,
+                    shard_index,
                 )
 
                 out_shards[out_index][:] = data

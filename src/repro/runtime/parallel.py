@@ -58,8 +58,9 @@ from ..sim.statevector import StateVector
 from .offload import (
     OffloadStats,
     WorkerStats,
+    compile_segment_ops,
     materialize_stage_segments,
-    run_groups_on_shard,
+    run_segment_ops,
     segment_relabels_shards,
     split_stage_segment_shapes,
 )
@@ -193,6 +194,13 @@ class ParallelRuntime:
         so they all share one shape.  Only the shape is cached: the
         per-plan segments are re-materialized from each plan's own gates,
         so cached schedules never leak another circuit's angles.
+
+        Each shards-segment of the schedule also carries its **compiled op
+        stream** (:func:`repro.runtime.offload.compile_segment_ops`):
+        fusion, structure analysis and gemm planning happen here, once per
+        plan, and every shard pass on every worker replays the pre-resolved
+        ops.  The ops bind the plan's gate matrices (angles included), so
+        they are rebuilt whenever the segments are re-materialized.
         """
         key: object = schedule_key if schedule_key is not None else id(plan)
         cached = self._segment_cache.get(key)
@@ -215,11 +223,20 @@ class ParallelRuntime:
                 shape.append((target, logical_to_physical, shapes))
             self.schedule_cache_misses += 1
         # A different (structurally identical) plan under a shared
-        # schedule_key: re-materialize the shape with this plan's gates.
-        schedule = [
-            (target, l2p, materialize_stage_segments(stage, stage_shapes))
-            for stage, (target, l2p, stage_shapes) in zip(plan.stages, shape)
-        ]
+        # schedule_key: re-materialize the shape with this plan's gates and
+        # compile each shards-segment's op stream from them.
+        local = self.machine.local_qubits
+        schedule = []
+        for stage, (target, l2p, stage_shapes) in zip(plan.stages, shape):
+            segments = []
+            for kind, payload in materialize_stage_segments(stage, stage_shapes):
+                if kind == "full":
+                    segments.append(("full", payload, None))
+                else:
+                    segments.append(
+                        ("shards", payload, compile_segment_ops(payload, l2p, local))
+                    )
+            schedule.append((target, l2p, segments))
         if key not in self._segment_cache:
             if len(self._segment_cache) >= _SEGMENT_CACHE_PLANS:
                 self._segment_cache.pop(next(iter(self._segment_cache)))
@@ -235,7 +252,7 @@ class ParallelRuntime:
         indices: list[int],
         shards: list[np.ndarray],
         out_shards: list[np.ndarray],
-        groups: list,
+        segment_ops: list,
         logical_to_physical: dict[int, int],
         local_qubits: int,
         stats: WorkerStats,
@@ -243,7 +260,9 @@ class ParallelRuntime:
         """Process this worker's shard indices for one shards-segment.
 
         Loads pipeline through the loader pool: while shard ``i`` computes
-        in one buffer pair, shard ``i+1`` streams into the other.
+        in one buffer pair, shard ``i+1`` streams into the other.  The
+        segment arrives pre-compiled (``segment_ops``); temporaries come
+        from this worker thread's private workspace.
         """
         pairs = self._worker_pairs(local_qubits)
 
@@ -264,8 +283,8 @@ class ParallelRuntime:
             stats.bytes_loaded += data.nbytes
 
             start = time.perf_counter()
-            data, scratch, out_index = run_groups_on_shard(
-                data, scratch, groups, logical_to_physical, local_qubits, index
+            data, scratch, out_index = run_segment_ops(
+                data, scratch, segment_ops, logical_to_physical, local_qubits, index
             )
             stats.compute_seconds += time.perf_counter() - start
 
@@ -336,7 +355,7 @@ class ParallelRuntime:
                 layout.update(target)
 
             stage_loads = 0
-            for kind, payload in segments:
+            for kind, payload, segment_ops in segments:
                 if kind == "full":
                     gate = payload
                     physical = [logical_to_physical[q] for q in gate.qubits]
@@ -357,7 +376,7 @@ class ParallelRuntime:
                         list(range(w, num_shards, width)),
                         shards,
                         out_shards,
-                        payload,
+                        segment_ops,
                         logical_to_physical,
                         local,
                         stats.per_worker[w],

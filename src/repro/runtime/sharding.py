@@ -19,7 +19,7 @@ import numpy as np
 
 from ..core.plan import QubitPartition
 
-__all__ = ["QubitLayout", "permute_state", "shard_slices"]
+__all__ = ["QubitLayout", "permutation_axes", "permute_state", "shard_slices"]
 
 
 class QubitLayout:
@@ -71,6 +71,24 @@ class QubitLayout:
         return f"<QubitLayout {self._logical_to_physical}>"
 
 
+def permutation_axes(
+    cur_map: dict[int, int], target: dict[int, int], n: int
+) -> list[int]:
+    """Tensor-axis permutation realising a layout change.
+
+    Axis ``a`` of the current rank-``n`` state tensor holds physical qubit
+    ``p = n-1-a``, i.e. logical qubit ``cur_map⁻¹(p)``; in the target
+    tensor, axis ``a'`` must hold the logical qubit mapped to physical
+    position ``n-1-a'``.  An identity result means the two mappings induce
+    the same amplitude ordering (no data moves) — plan compilation elides
+    the permutation entirely in that case.
+    """
+    phys_to_logical = {p: q for q, p in cur_map.items()}
+    logical_to_axis = {phys_to_logical[p]: n - 1 - p for p in range(n)}
+    target_inverse = {p: q for q, p in target.items()}
+    return [logical_to_axis[target_inverse[n - 1 - a]] for a in range(n)]
+
+
 def permute_state(
     state: np.ndarray,
     current: QubitLayout,
@@ -108,13 +126,7 @@ def permute_state(
         return state
 
     tensor = state.reshape((2,) * n)
-    # Axis a of the current tensor holds physical qubit p = n-1-a, i.e.
-    # logical qubit current.logical(p).  In the target tensor, axis a' must
-    # hold the logical qubit mapped to physical position n-1-a'.
-    phys_to_logical = {p: q for q, p in cur_map.items()}
-    logical_to_axis = {phys_to_logical[p]: n - 1 - p for p in range(n)}
-    target_inverse = {p: q for q, p in target.items()}
-    axes = [logical_to_axis[target_inverse[n - 1 - a]] for a in range(n)]
+    axes = permutation_axes(cur_map, target, n)
     if axes == list(range(n)):
         # The two mappings induce the same amplitude ordering; no data moves.
         return state

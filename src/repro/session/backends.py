@@ -40,7 +40,7 @@ from ..circuits.circuit import Circuit
 from ..cluster.costmodel import CostModel
 from ..cluster.machine import MachineConfig
 from ..core.plan import ExecutionPlan
-from ..runtime.executor import execute_plan
+from ..runtime.executor import execute_plan, trace_for_program
 from ..runtime.offload import execute_plan_offloaded
 from ..runtime.parallel import ParallelRuntime
 from ..runtime.timeline import TimingBreakdown, model_simulation_time
@@ -74,6 +74,13 @@ class ExecutionBackend:
     #: Registry name; set per subclass/instance.
     name: str = "backend"
 
+    #: Whether the Session should compile plans to
+    #: :class:`~repro.sim.program.CompiledProgram` streams for this backend
+    #: (and pass them through ``program=``/``programs=``).  Backends with
+    #: their own amortisation layer (the shard runtimes' schedule cache)
+    #: leave this off.
+    uses_programs: bool = False
+
     def run_plan(
         self,
         plan: ExecutionPlan,
@@ -81,13 +88,15 @@ class ExecutionBackend:
         initial_state: StateVector | None = None,
         circuit: Circuit | None = None,
         schedule_key: str | None = None,
+        program=None,
     ) -> tuple[StateVector, object]:
         """Execute *plan* and return ``(final_state, execution_stats)``.
 
         ``circuit`` is the source circuit (used by backends that do not
         replay the staged plan, e.g. the reference oracle); ``schedule_key``
         names the plan structure for backends that cache per-structure
-        schedules (see :meth:`ParallelRuntime.execute`).
+        schedules (see :meth:`ParallelRuntime.execute`); ``program`` is the
+        plan's compiled op stream for backends with ``uses_programs``.
         """
         raise NotImplementedError
 
@@ -96,20 +105,26 @@ class ExecutionBackend:
         items: Sequence[tuple[ExecutionPlan, StateVector | None, Circuit | None]],
         machine: MachineConfig,
         schedule_keys: Sequence[str | None] | None = None,
+        programs: Sequence | None = None,
     ) -> list[tuple[StateVector, object]]:
         """Execute many ``(plan, initial_state, circuit)`` problems in order.
 
         The default runs them back to back through :meth:`run_plan`;
         backends with shared runtime state (worker pools, buffers,
-        segmentation caches) override this to amortise it.
+        segmentation caches, compiled programs) override this to amortise
+        it.  ``program=`` is only forwarded when present, so third-party
+        backends with the pre-program :meth:`run_plan` signature keep
+        working.
         """
         keys = schedule_keys if schedule_keys is not None else [None] * len(items)
-        return [
-            self.run_plan(
-                plan, machine, initial_state=state, circuit=circuit, schedule_key=key
-            )
-            for (plan, state, circuit), key in zip(items, keys)
-        ]
+        progs = programs if programs is not None else [None] * len(items)
+        out = []
+        for (plan, state, circuit), key, program in zip(items, keys, progs):
+            kwargs = dict(initial_state=state, circuit=circuit, schedule_key=key)
+            if program is not None:
+                kwargs["program"] = program
+            out.append(self.run_plan(plan, machine, **kwargs))
+        return out
 
     def timing(
         self, plan: ExecutionPlan, machine: MachineConfig, cost_model: CostModel
@@ -155,7 +170,7 @@ class ReferenceBackend(ExecutionBackend):
 
     name = "reference"
 
-    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None):
+    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None):
         n = plan.num_qubits
         if initial_state is None:
             state = StateVector.zero_state(n)
@@ -169,12 +184,47 @@ class ReferenceBackend(ExecutionBackend):
 
 
 class InCoreBackend(ExecutionBackend):
-    """Single-stream staged executor on in-memory buffers."""
+    """Single-stream staged executor on in-memory buffers.
+
+    Runs the compiled program the Session's plan cache carries (zero
+    per-gate dispatch; the structural cache rebinds programs across a
+    parameter sweep).  Batch items that share one program — a circuit
+    fanned out over many initial states, a shots/observables sweep —
+    execute as a single stacked ``(B, 2^n)`` pass with B-wide GEMM and
+    broadcast calls per op instead of B independent runs.
+    """
 
     name = "incore"
+    uses_programs = True
 
-    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None):
+    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None):
+        if program is not None:
+            return program.run(initial_state), trace_for_program(program)
         return execute_plan(plan, initial_state=initial_state, machine=machine)
+
+    def run_batch(self, items, machine, schedule_keys=None, programs=None):
+        if programs is None:
+            return super().run_batch(items, machine, schedule_keys=schedule_keys)
+        results: list[tuple[StateVector, object] | None] = [None] * len(items)
+        index = 0
+        while index < len(items):
+            program = programs[index]
+            span = index + 1
+            while program is not None and span < len(items) and programs[span] is program:
+                span += 1
+            if span - index > 1:
+                # One program, many initial states: a single (B, 2^n) pass.
+                states = [state for _plan, state, _circuit in items[index:span]]
+                for offset, final in enumerate(program.run_batched(states)):
+                    results[index + offset] = (final, trace_for_program(program))
+            else:
+                plan, state, circuit = items[index]
+                results[index] = self.run_plan(
+                    plan, machine, initial_state=state, circuit=circuit,
+                    program=program,
+                )
+            index = span
+        return results
 
 
 class OffloadBackend(ExecutionBackend):
@@ -182,7 +232,7 @@ class OffloadBackend(ExecutionBackend):
 
     name = "offload"
 
-    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None):
+    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None):
         return execute_plan_offloaded(plan, machine, initial_state=initial_state)
 
 
@@ -209,12 +259,12 @@ class ParallelBackend(ExecutionBackend):
             )
         return runtime
 
-    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None):
+    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None):
         return self.runtime_for(machine).execute(
             plan, initial_state, schedule_key=schedule_key
         )
 
-    def run_batch(self, items, machine, schedule_keys=None):
+    def run_batch(self, items, machine, schedule_keys=None, programs=None):
         runtime = self.runtime_for(machine)
         pairs = [(plan, state) for plan, state, _circuit in items]
         return runtime.run_batch(pairs, schedule_keys=schedule_keys)
@@ -252,7 +302,7 @@ class BaselineBackend(ExecutionBackend):
     def make_plan(self, circuit, machine):
         return self.simulator.partition(circuit, machine)
 
-    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None):
+    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None):
         # Baseline staging heuristics satisfy their own locality notion but
         # not necessarily Atlas's per-stage invariant; the functional check
         # is correctness of the final state, not the invariant.

@@ -14,7 +14,13 @@ identical too.  The cache exploits that:
 * a hit returns the cached plan *re-bound* to the new circuit's gates
   (:func:`rebind_plan`): the stage/kernel skeleton — partitions, kernel
   boundaries, costs — is shared, while every gate object comes from the
-  circuit actually being executed, so angles are never stale.
+  circuit actually being executed, so angles are never stale;
+* alongside the plan, the cache stores the plan's **compiled program**
+  (:class:`repro.sim.program.CompiledProgram`) when the executing backend
+  runs programs: on a hit the Session recompiles only the angle-dependent
+  ops (``compile_plan(reuse=...)``) — constant-structure gates (H, CX, …)
+  keep their compiled payload verbatim, and the whole rebound family
+  shares the base program's workspace buffers.
 
 The cache is an LRU over a bounded number of structures and is owned by a
 :class:`repro.session.Session`; it is not thread-safe on its own.
@@ -105,9 +111,7 @@ class PlanCache:
         if maxsize < 1:
             raise ValueError("maxsize must be at least 1")
         self.maxsize = maxsize
-        self._entries: OrderedDict[tuple, tuple[ExecutionPlan, PartitionReport | None]] = (
-            OrderedDict()
-        )
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -116,8 +120,12 @@ class PlanCache:
     def __contains__(self, key: tuple) -> bool:
         return key in self._entries
 
-    def get(self, key: tuple) -> tuple[ExecutionPlan, PartitionReport | None] | None:
-        """Look up *key*, counting a hit or miss and refreshing LRU order."""
+    def get(self, key: tuple) -> tuple | None:
+        """Look up *key*, counting a hit or miss and refreshing LRU order.
+
+        Returns ``(plan, report, program)`` — ``program`` is ``None`` when
+        the entry was stored without a compiled program.
+        """
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -131,14 +139,18 @@ class PlanCache:
         key: tuple,
         plan: ExecutionPlan,
         report: PartitionReport | None = None,
+        program=None,
     ) -> None:
-        """Store ``(plan, report)`` under *key*, evicting the LRU entry if full."""
+        """Store ``(plan, report, program)`` under *key*, evicting the LRU
+        entry if full.  ``program`` is the plan's compiled op stream (or
+        ``None`` for backends that do not run programs); its workspace is
+        shared with every rebind served from this entry."""
         if key in self._entries:
             self._entries.move_to_end(key)
         elif len(self._entries) >= self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
-        self._entries[key] = (plan, report)
+        self._entries[key] = (plan, report, program)
 
     def clear(self) -> None:
         self._entries.clear()

@@ -44,6 +44,9 @@ from ..cluster.machine import MachineConfig
 from ..core.kernelize import KernelizeConfig
 from ..core.partitioner import PartitionReport, partition
 from ..core.plan import ExecutionPlan
+from ..runtime.compile import compile_plan
+from ..sim.fusion import fusion_cache_stats
+from ..sim.program import CompiledProgram
 from ..sim.statevector import StateVector
 from .backends import (
     BACKENDS,
@@ -77,6 +80,19 @@ class SessionStats:
     #: Parallel-runtime segmentation cache counters (hits, misses).
     schedule_cache_hits: int = 0
     schedule_cache_misses: int = 0
+    #: Compiled programs built from scratch (plan-cache misses on
+    #: program-running backends).
+    programs_compiled: int = 0
+    #: Programs produced by rebinding a cached program to new angles.
+    programs_rebound: int = 0
+    #: Ops taken verbatim from the cached program across all rebinds
+    #: (constant-structure gates whose payload never changes).
+    program_ops_reused: int = 0
+    #: Bounded fused-unitary cache counters, attributed to this session
+    #: (deltas of the process-wide cache since the session was created).
+    fusion_cache_hits: int = 0
+    fusion_cache_misses: int = 0
+    fusion_cache_evictions: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -95,6 +111,12 @@ class SessionStats:
             "execute_seconds": self.execute_seconds,
             "schedule_cache_hits": self.schedule_cache_hits,
             "schedule_cache_misses": self.schedule_cache_misses,
+            "programs_compiled": self.programs_compiled,
+            "programs_rebound": self.programs_rebound,
+            "program_ops_reused": self.program_ops_reused,
+            "fusion_cache_hits": self.fusion_cache_hits,
+            "fusion_cache_misses": self.fusion_cache_misses,
+            "fusion_cache_evictions": self.fusion_cache_evictions,
         }
 
 
@@ -151,6 +173,7 @@ class Session:
         self.ilp_time_limit = ilp_time_limit
         self.cache = PlanCache(maxsize=cache_size)
         self.stats = SessionStats()
+        self._fusion_baseline = fusion_cache_stats()
         self._rng = np.random.default_rng(seed)
         self._backends: dict[str, ExecutionBackend] = {}
         self._closed = False
@@ -225,15 +248,22 @@ class Session:
         circuit: Circuit,
         machine: MachineConfig | None = None,
         backend: str | None = None,
-    ) -> tuple[ExecutionPlan, PartitionReport | None, bool, str]:
+        compile_programs: bool = True,
+    ) -> tuple[ExecutionPlan, PartitionReport | None, bool, str, CompiledProgram | None]:
         """Plan *circuit* through the structural cache.
 
-        Returns ``(plan, report, cache_hit, schedule_key)``.  On a hit the
-        plan is the cached structure re-bound to this circuit's gates and
-        ``report`` is ``None`` (no preprocessing happened); on a miss the
-        partitioner runs and the result is cached.  ``schedule_key`` is a
-        stable string naming the structure, passed to runtimes that cache
-        per-structure schedules.
+        Returns ``(plan, report, cache_hit, schedule_key, program)``.  On a
+        hit the plan is the cached structure re-bound to this circuit's
+        gates and ``report`` is ``None`` (no preprocessing happened); on a
+        miss the partitioner runs and the result is cached.
+        ``schedule_key`` is a stable string naming the structure, passed to
+        runtimes that cache per-structure schedules.  ``program`` is the
+        plan's compiled op stream when the resolved backend runs programs
+        (``None`` otherwise): compiled once on a miss, and on a hit rebound
+        from the cached program — only ops whose gates changed (new angles)
+        are recompiled, and the whole family shares one workspace.
+        ``compile_programs=False`` skips all program work (``run`` passes
+        it for ``execute=False`` jobs, which never execute a program).
         """
         machine = self._resolve_machine(machine)
         backend_name = self.resolve_backend(circuit.num_qubits, machine, backend)
@@ -251,9 +281,23 @@ class Session:
 
         cached = self.cache.get(key)
         if cached is not None:
-            plan, _report = cached
+            plan, report, base_program = cached
             self.stats.cache_hits += 1
-            return rebind_plan(plan, circuit), None, True, schedule_key
+            rebound = rebind_plan(plan, circuit)
+            program = None
+            if compile_programs and backend_obj.uses_programs:
+                if base_program is None:
+                    # The entry was populated by a backend that does not run
+                    # programs (they share the Atlas planner key); compile
+                    # the cached base plan once and upgrade the entry so
+                    # later hits only rebind.
+                    base_program = compile_plan(plan, machine)
+                    self.stats.programs_compiled += 1
+                    self.cache.put(key, plan, report, base_program)
+                program = compile_plan(rebound, machine, reuse=base_program)
+                self.stats.programs_rebound += 1
+                self.stats.program_ops_reused += program.ops_reused
+            return rebound, None, True, schedule_key, program
         self.stats.cache_misses += 1
 
         t0 = time.perf_counter()
@@ -272,8 +316,12 @@ class Session:
             )
         self.stats.plan_seconds += time.perf_counter() - t0
         self.stats.plans_built += 1
-        self.cache.put(key, plan, report)
-        return plan, report, False, schedule_key
+        program = None
+        if compile_programs and backend_obj.uses_programs:
+            program = compile_plan(plan, machine)
+            self.stats.programs_compiled += 1
+        self.cache.put(key, plan, report, program)
+        return plan, report, False, schedule_key, program
 
     # ------------------------------------------------------------------
     # The job API
@@ -358,26 +406,35 @@ class Session:
         )
 
         t_job = time.perf_counter()
-        planned: dict[int, tuple[ExecutionPlan, PartitionReport | None, bool, str]] = {}
+        planned: dict[int, tuple] = {}
         items = []
         for circuit, state in zip(circuit_list, states):
             if id(circuit) in planned:
                 # The same circuit object fanned out over several initial
-                # states: reuse the exact plan (not even a rebind).
-                plan, report, hit, schedule_key = planned[id(circuit)]
+                # states: reuse the exact plan and compiled program (not
+                # even a rebind) — the backend batches these into one
+                # stacked (B, 2^n) execution.
+                plan, report, hit, schedule_key, program = planned[id(circuit)]
             else:
-                plan, report, hit, schedule_key = self.plan_for(
-                    circuit, machine, backend_name
+                plan, report, hit, schedule_key, program = self.plan_for(
+                    circuit, machine, backend_name, compile_programs=execute
                 )
-                planned[id(circuit)] = (plan, report, hit, schedule_key)
-            items.append((circuit, state, plan, report, hit, schedule_key))
+                planned[id(circuit)] = (plan, report, hit, schedule_key, program)
+            items.append((circuit, state, plan, report, hit, schedule_key, program))
 
         if execute:
             t0 = time.perf_counter()
+            batch_kwargs = {}
+            if backend_obj.uses_programs:
+                # Only program-running backends see the keyword, so
+                # third-party backends with the older run_batch signature
+                # keep working.
+                batch_kwargs["programs"] = [item[6] for item in items]
             outs = backend_obj.run_batch(
                 [(plan, state, circuit) for circuit, state, plan, *_ in items],
                 machine,
-                schedule_keys=[schedule_key for *_, schedule_key in items],
+                schedule_keys=[item[5] for item in items],
+                **batch_kwargs,
             )
             execute_seconds = time.perf_counter() - t0
             self.stats.execute_seconds += execute_seconds
@@ -390,7 +447,7 @@ class Session:
 
         per_item_wall = execute_seconds / len(items)
         results = []
-        for (circuit, state, plan, report, hit, schedule_key), (out_state, exec_stats) in zip(
+        for (circuit, state, plan, report, hit, schedule_key, program), (out_state, exec_stats) in zip(
             items, outs
         ):
             samples = None
@@ -421,6 +478,14 @@ class Session:
             hits, misses = backend_obj.schedule_cache_counters()
             self.stats.schedule_cache_hits = hits
             self.stats.schedule_cache_misses = misses
+        fusion = fusion_cache_stats()
+        self.stats.fusion_cache_hits = fusion["hits"] - self._fusion_baseline["hits"]
+        self.stats.fusion_cache_misses = (
+            fusion["misses"] - self._fusion_baseline["misses"]
+        )
+        self.stats.fusion_cache_evictions = (
+            fusion["evictions"] - self._fusion_baseline["evictions"]
+        )
         self.stats.jobs += 1
         self.stats.circuits_run += len(results)
         job = Job(

@@ -8,16 +8,34 @@ from .apply import (
     expand_matrix,
 )
 from .fusion import (
+    FusionCache,
     apply_gate_sequence,
+    configure_fusion_cache,
     fused_unitary,
     fused_unitary_cached,
+    fusion_cache_stats,
     kernel_qubits,
+)
+from .program import (
+    CompiledOp,
+    CompiledProgram,
+    Workspace,
+    compile_unitary_op,
+    release_thread_workspace,
 )
 from .reference import simulate_reference
 from .statevector import StateVector
 
 __all__ = [
     "StateVector",
+    "CompiledOp",
+    "CompiledProgram",
+    "Workspace",
+    "compile_unitary_op",
+    "release_thread_workspace",
+    "FusionCache",
+    "configure_fusion_cache",
+    "fusion_cache_stats",
     "apply_matrix",
     "apply_matrix_reference",
     "apply_diagonal",

@@ -18,8 +18,11 @@ structure allows:
     Slice-pair update via a single ``einsum`` pass writing straight into
     the output buffer — no intermediate copies.
 ``big`` (k ≥ 3)
-    The original ``tensordot`` contraction, retained as the reference
-    fallback for wide fused matrices.
+    Wide fused matrices.  When the qubit tuple is single-GEMM plannable
+    (all qubits in a low or high index window, or a contiguous run) the
+    update runs as one streaming BLAS ``matmul`` exactly like the 1q/2q
+    dense path; only genuinely scattered wide tuples fall back to the
+    original ``tensordot`` contraction.
 
 Buffer contract
 ---------------
@@ -75,6 +78,7 @@ __all__ = [
     "qubit_axis",
     "expand_matrix",
     "analyze_matrix",
+    "run_dense_plan",
     "MatrixInfo",
     "tracked_empty",
     "reset_allocation_log",
@@ -266,18 +270,21 @@ def _basis_views(
     n: int,
     qubits: Sequence[int],
     fixed: Sequence[tuple[int, int]] = (),
+    lead: int = 0,
 ) -> list[np.ndarray]:
     """The ``2^k`` sub-views of *tensor* indexed by the basis of *qubits*.
 
     ``fixed`` pins additional ``(axis, bit)`` pairs (used to restrict to a
-    controlled subspace).  View ``b`` fixes qubit ``qubits[j]`` to bit ``j``
-    of ``b``.
+    controlled subspace); the axes in ``fixed`` must already include the
+    ``lead`` offset.  ``lead`` counts extra leading axes (a batch dimension)
+    kept whole in every view.  View ``b`` fixes qubit ``qubits[j]`` to bit
+    ``j`` of ``b``.
     """
-    axes = [qubit_axis(n, q) for q in qubits]
+    axes = [lead + qubit_axis(n, q) for q in qubits]
     # Trailing dummy axis so a fully-indexed result is still a (1,)-shaped
     # writable view rather than a 0-d scalar copy.
     tensor = tensor.reshape(tensor.shape + (1,))
-    base: list = [slice(None)] * (n + 1)
+    base: list = [slice(None)] * (lead + n + 1)
     for ax, bit in fixed:
         base[ax] = bit
     views = []
@@ -338,17 +345,29 @@ def _dense_accumulate(
             ov[...] = 0
 
 
-def _dense_views_inplace(views: list[np.ndarray], matrix: np.ndarray) -> None:
-    """In-place dense update of basis *views* via a scratch snapshot."""
+def _dense_views_inplace(
+    views: list[np.ndarray],
+    matrix: np.ndarray,
+    snap: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
+) -> None:
+    """In-place dense update of basis *views* via a scratch snapshot.
+
+    ``snap`` (``d · view.size`` elements) and ``tmp`` (``view.size``) default
+    to the per-thread scratch pool; compiled programs pass their own
+    preallocated workspace buffers instead.
+    """
     d = len(views)
     vsize = views[0].size
     vshape = views[0].shape
-    snap = _scratch(d * vsize, slot=0)
+    if snap is None:
+        snap = _scratch(d * vsize, slot=0)
     snap_views = [snap[c * vsize : (c + 1) * vsize].reshape(vshape) for c in range(d)]
     for c in range(d):
         np.copyto(snap_views[c], views[c])
-    tmp = _scratch(vsize, slot=1).reshape(vshape)
-    _dense_accumulate(snap_views, views, matrix, tmp)
+    if tmp is None:
+        tmp = _scratch(vsize, slot=1)
+    _dense_accumulate(snap_views, views, matrix, tmp.reshape(vshape))
 
 
 def _permutation_to_out(
@@ -365,13 +384,20 @@ def _permutation_to_out(
 
 
 def _permutation_inplace(
-    views: list[np.ndarray], perm: Sequence[int], phases: np.ndarray
+    views: list[np.ndarray],
+    perm: Sequence[int],
+    phases: np.ndarray,
+    tmp: np.ndarray | None = None,
 ) -> None:
     """Apply a phased permutation cycle-by-cycle; fixed points are untouched
-    (or phase-scaled), so e.g. an in-place CX only moves half the state."""
+    (or phase-scaled), so e.g. an in-place CX only moves half the state.
+    ``tmp`` (one view's worth of elements) defaults to the per-thread
+    scratch pool."""
     d = len(views)
     visited = [False] * d
-    tmp = _scratch(views[0].size, slot=1).reshape(views[0].shape)
+    if tmp is None:
+        tmp = _scratch(views[0].size, slot=1)
+    tmp = tmp.reshape(views[0].shape)
     for start in range(d):
         if visited[start]:
             continue
@@ -411,6 +437,16 @@ _GEMM_EDGE = 5
 _DENSE_PLAN_CACHE: dict[tuple, tuple] = {}
 _DENSE_PLAN_CACHE_MAX = 4096
 
+#: Widest contiguous run the stacked wide-gemm plan accepts.  Beyond it the
+#: batched matmul's short post dimension starves BLAS (measured: 1.35x over
+#: tensordot at k=8, 0.86x at k=10) and the tensordot fallback wins.
+_WIDE_STACKED_MAX = 8
+
+#: Widest gate for which a one-spare-bit (2x flop inflation) low/high
+#: window is accepted: the doubled gemm only beats tensordot's transpose
+#: overhead while the expanded matrix is small (≤ 2^6 = 64 columns).
+_WIDE_HOLE_MAX = 6
+
 
 def _dense_plan(matrix: np.ndarray, n: int, qubits: tuple[int, ...]) -> tuple:
     """Choose and precompute the gemm strategy for a dense 1q/2q gate.
@@ -432,7 +468,50 @@ def _dense_plan(matrix: np.ndarray, n: int, qubits: tuple[int, ...]) -> tuple:
     return plan
 
 
+def _reorder_matrix_bits(matrix: np.ndarray, qubits: tuple[int, ...]) -> np.ndarray:
+    """Permute *matrix* index bits so bit ``p`` maps to ``sorted(qubits)[p]``.
+
+    The engine's little-endian convention ties matrix index bit ``j`` to
+    ``qubits[j]``; the stacked wide-gemm plan needs the bits in ascending
+    qubit order so the contiguous qubit run merges into one tensor axis.
+    """
+    if list(qubits) == sorted(qubits):
+        return matrix
+    k = len(qubits)
+    pos = {q: p for p, q in enumerate(sorted(qubits))}
+    ar = np.arange(1 << k)
+    idx = np.zeros(1 << k, dtype=np.int64)
+    for j, q in enumerate(qubits):
+        idx |= ((ar >> pos[q]) & 1) << j
+    return matrix[np.ix_(idx, idx)]
+
+
 def _dense_plan_impl(matrix: np.ndarray, n: int, qubits: tuple[int, ...]) -> tuple:
+    if len(qubits) >= 3:
+        # Wide (fused-kernel) matrices: contiguous runs plan inflation-free
+        # (one exact gemm at a register edge, stacked in the middle); only
+        # non-contiguous tuples fall through to the one-spare-bit windows
+        # (2x flop inflation, gated by _WIDE_HOLE_MAX in the plannable
+        # check).  Ordering mirrors _single_gemm_plannable.
+        k = len(qubits)
+        qs = sorted(qubits)
+        q0, q1 = qs[0], qs[-1]
+        if q1 - q0 + 1 == k:
+            if q0 == 0:
+                b = expand_matrix(matrix, qubits, range(k))
+                return ("gemm_right", np.ascontiguousarray(b.T), 1 << k)
+            if q1 == n - 1:
+                b = expand_matrix(matrix, [q - q0 for q in qubits], range(k))
+                return ("gemm_left", np.ascontiguousarray(b), 1 << k)
+            # Mid-register run: the k qubits merge into one length-2^k axis.
+            m = np.ascontiguousarray(_reorder_matrix_bits(matrix, tuple(qubits)))
+            return ("stacked", m, 1 << (n - q1 - 1), 1 << k, 1 << q0)
+        if q1 + 1 <= k + 1:
+            b = expand_matrix(matrix, qubits, range(q1 + 1))
+            return ("gemm_right", np.ascontiguousarray(b.T), 1 << (q1 + 1))
+        b = expand_matrix(matrix, [q - q0 for q in qubits], range(n - q0))
+        return ("gemm_left", np.ascontiguousarray(b), 1 << (n - q0))
+
     if len(qubits) == 1:
         q = qubits[0]
         if q < _GEMM_EDGE:
@@ -480,15 +559,16 @@ def _dense_plan_impl(matrix: np.ndarray, n: int, qubits: tuple[int, ...]) -> tup
     return ("split_gemm", bts, pre, (1 << q1) // cols, cols)
 
 
-def _dense_small_to_out(
-    state: np.ndarray,
-    out: np.ndarray,
-    matrix: np.ndarray,
-    qubits: Sequence[int],
-    n: int,
+def run_dense_plan(
+    plan: tuple, state: np.ndarray, out: np.ndarray, tmp: np.ndarray | None = None
 ) -> None:
-    """Dense 1q/2q update via BLAS matmul, writing straight into *out*."""
-    plan = _dense_plan(matrix, n, tuple(qubits))
+    """Execute a precomputed dense gemm *plan*, writing straight into *out*.
+
+    ``tmp`` (split plans only) is a work buffer of ``state.size // 2``
+    elements; when omitted it comes from the per-thread scratch pool.  This
+    is the run-time half of the dense path: compiled programs store the
+    plan tuple per op and call this with their preallocated workspace.
+    """
     kind = plan[0]
     if kind == "gemm_right":
         _, bt, cols = plan
@@ -503,7 +583,9 @@ def _dense_small_to_out(
         _, mats, pre, mid, post = plan
         src = state.reshape(pre, 2, mid, 2, post)
         dst = out.reshape(pre, 2, mid, 2, post)
-        tmp = _scratch(pre * mid * 2 * post, slot=1).reshape(pre, mid, 2, post)
+        if tmp is None:
+            tmp = _scratch(pre * mid * 2 * post, slot=1)
+        tmp = tmp.reshape(pre, mid, 2, post)
         for a in (0, 1):
             dst_a = dst[:, a]
             np.matmul(mats[a][0], src[:, 0], out=dst_a)
@@ -513,12 +595,25 @@ def _dense_small_to_out(
         _, bts, pre, mid, cols = plan
         src = state.reshape(pre, 2, mid, cols)
         dst = out.reshape(pre, 2, mid, cols)
-        tmp = _scratch(pre * mid * cols, slot=1).reshape(pre, mid, cols)
+        if tmp is None:
+            tmp = _scratch(pre * mid * cols, slot=1)
+        tmp = tmp.reshape(pre, mid, cols)
         for a in (0, 1):
             dst_a = dst[:, a]
             np.matmul(src[:, 0], bts[a][0], out=dst_a)
             np.matmul(src[:, 1], bts[a][1], out=tmp)
             dst_a += tmp
+
+
+def _dense_small_to_out(
+    state: np.ndarray,
+    out: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    n: int,
+) -> None:
+    """Dense gemm update (1q/2q and plannable wide), writing into *out*."""
+    run_dense_plan(_dense_plan(matrix, n, tuple(qubits)), state, out)
 
 
 def _big_to_out(
@@ -556,11 +651,31 @@ def _big_to_out(
 
 
 def _single_gemm_plannable(qubits: Sequence[int], n: int) -> bool:
-    """True when the dense 1q/2q planner covers *qubits* with one gemm."""
-    if len(qubits) == 1:
+    """True when the dense gemm planner covers *qubits* with one matmul.
+
+    1q gates always plan; 2q gates plan inside the measured position
+    windows or when adjacent.  Wide (k ≥ 3) tuples plan when all qubits
+    sit in a low/high window with at most one spare index bit (≤ 2x flop
+    inflation) or form a contiguous run (no inflation); anything else
+    falls back to the tensordot contraction.
+    """
+    k = len(qubits)
+    if k == 1:
         return True
-    q0, q1 = sorted(qubits)
-    return q1 <= _GEMM_EDGE or q0 >= n - (_GEMM_EDGE + 1) or q1 == q0 + 1
+    qs = sorted(qubits)
+    q0, q1 = qs[0], qs[-1]
+    if k == 2:
+        return q1 <= _GEMM_EDGE or q0 >= n - (_GEMM_EDGE + 1) or q1 == q0 + 1
+    if q1 - q0 + 1 == k:
+        # Contiguous: one inflation-free gemm.  Register-edge runs plan at
+        # any width; mid-register runs only while the stacked matmul's post
+        # dimension stays BLAS-friendly.
+        return q0 == 0 or q1 == n - 1 or k <= _WIDE_STACKED_MAX
+    # One spare index bit in a low/high window (2x flop inflation): only
+    # worthwhile while the expanded matrix stays small.
+    if k + 1 <= _WIDE_HOLE_MAX:
+        return q1 + 1 <= k + 1 or q0 >= n - (k + 1)
+    return False
 
 
 def _effective_kind(info: MatrixInfo, qubits: Sequence[int], n: int) -> str:
@@ -571,9 +686,13 @@ def _effective_kind(info: MatrixInfo, qubits: Sequence[int], n: int) -> str:
     BLAS gemm beats them.  Permutation cycles tolerate short runs well
     (they are plain strided copies), so they reroute only at the very
     bottom; controlled subspace updates reroute whenever the dense planner
-    has a single-gemm strategy for the position pair.
+    has a single-gemm strategy for the position pair.  Wide (k ≥ 3) dense
+    matrices reroute to the streaming gemm path whenever the planner covers
+    their qubit tuple (see :func:`_single_gemm_plannable`).
     """
-    if info.k > 2 or info.kind in ("diagonal", "dense", "big"):
+    if info.kind == "big":
+        return "dense" if _single_gemm_plannable(qubits, n) else "big"
+    if info.k > 2 or info.kind in ("diagonal", "dense"):
         return info.kind
     if info.kind == "permutation":
         if max(qubits) <= 2:
@@ -725,6 +844,8 @@ def _controlled_gather_gemm_inplace(
     control_qubit: int,
     target_qubit: int,
     reduced_matrix: np.ndarray,
+    plan: tuple | None = None,
+    compact: np.ndarray | None = None,
 ) -> None:
     """In-place controlled-1q update via gather + one streaming gemm.
 
@@ -733,21 +854,31 @@ def _controlled_gather_gemm_inplace(
     then the target unitary is applied with a single batched matmul writing
     straight back into the strided view.  Requires ``target < control`` so
     the target bit lives inside the contiguous rows.
+
+    *state* may carry a leading batch dimension (total size ``B · 2^n``):
+    the batch folds into the row count unchanged.  ``plan``/``compact`` let
+    compiled programs pass the precomputed gemm plan and a preallocated
+    gather buffer (``state.size // 2`` elements).
     """
-    pre_c, post_c = 1 << (n - 1 - control_qubit), 1 << control_qubit
-    subspace = state.reshape(pre_c, 2, post_c)[:, 1, :]
-    compact = _scratch(pre_c * post_c, slot=0).reshape(pre_c, post_c)
+    post_c = 1 << control_qubit
+    # pre_c for a single state; B·pre_c when state is a (B, 2^n) batch.
+    rows = state.size // (2 * post_c)
+    subspace = state.reshape(rows, 2, post_c)[:, 1, :]
+    if compact is None:
+        compact = _scratch(rows * post_c, slot=0)
+    compact = compact[: rows * post_c].reshape(rows, post_c)
     np.copyto(compact, subspace)
     # Each compact row is a `control_qubit`-qubit sub-state with the target
     # at its original position; reuse the dense 1q gemm planner on it.
-    plan = _dense_plan(reduced_matrix, control_qubit, (target_qubit,))
+    if plan is None:
+        plan = _dense_plan(reduced_matrix, control_qubit, (target_qubit,))
     if plan[0] == "gemm_right":
         _, bt, cols = plan
-        shape = (pre_c, post_c // cols, cols)
+        shape = (rows, post_c // cols, cols)
         np.matmul(compact.reshape(shape), bt, out=subspace.reshape(shape))
     else:  # stacked
         _, m, pre_t, _, post_t = plan
-        shape = (pre_c, pre_t, 2, post_t)
+        shape = (rows, pre_t, 2, post_t)
         np.matmul(m, compact.reshape(shape), out=subspace.reshape(shape))
 
 

@@ -13,12 +13,18 @@ implementation paid, and the two work buffers are the only allocations.
 
 :func:`fused_unitary_cached` memoizes the result keyed by the gate tuple
 (kernel identity), so a kernel that is applied repeatedly — every stage of
-every shard in the offload executor — pays for fusion once.
+every shard in the offload executor — pays for fusion once.  The memo is
+an explicit bounded LRU (:class:`FusionCache`, replacing an opaque
+``functools.lru_cache`` of the same default bound): long-running sweep
+services can now watch its hit/miss/eviction counters (surfaced through
+:class:`repro.session.SessionStats`) and resize or flush it at runtime
+(:func:`configure_fusion_cache`).
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+import threading
+from collections import OrderedDict
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -27,8 +33,11 @@ from ..circuits.gates import Gate
 from .apply import apply_gate_buffered, tracked_empty
 
 __all__ = [
+    "FusionCache",
     "fused_unitary",
     "fused_unitary_cached",
+    "fusion_cache_stats",
+    "configure_fusion_cache",
     "kernel_qubits",
     "apply_gate_sequence",
 ]
@@ -77,13 +86,93 @@ def fused_unitary(
     return buf.reshape(dim, dim), qubits
 
 
-@lru_cache(maxsize=1024)
-def _fused_cached(
-    gates: tuple[Gate, ...], qubits: tuple[int, ...] | None
-) -> tuple[np.ndarray, tuple[int, ...]]:
-    matrix, out_qubits = fused_unitary(gates, qubits)
-    matrix.setflags(write=False)
-    return matrix, out_qubits
+class FusionCache:
+    """Bounded, thread-safe LRU cache for fused kernel unitaries.
+
+    The ``functools.lru_cache`` it replaces was bounded too, but opaque:
+    this cache counts hits, misses and evictions so services can watch
+    steady-state behaviour (:func:`fusion_cache_stats` /
+    :class:`repro.session.SessionStats`), and its bound is adjustable at
+    runtime (:func:`configure_fusion_cache`) — a sweep service whose
+    working set outgrows the default no longer silently thrashes.  A lock
+    guards the bookkeeping: the parallel shard runtime's workers share
+    this cache.  Fusion itself runs outside the lock — two threads racing
+    on the same key at worst both build the matrix and one result wins.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, tuple[np.ndarray, tuple[int, ...]]] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple) -> tuple[np.ndarray, tuple[int, ...]] | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def store(self, key: tuple, value: tuple[np.ndarray, tuple[int, ...]]) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            # A while-loop, not a single pop: after configure_fusion_cache
+            # shrinks maxsize, the cache must actually drain below its old
+            # high-water mark as new kernels arrive.
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+
+_FUSION_CACHE = FusionCache(maxsize=1024)
+
+
+def fusion_cache_stats() -> dict:
+    """Counters of the process-wide fused-unitary cache (hits, misses,
+    evictions, size, maxsize)."""
+    return _FUSION_CACHE.stats()
+
+
+def configure_fusion_cache(maxsize: int | None = None, clear: bool = False) -> None:
+    """Resize (``maxsize``) and/or ``clear`` the process-wide fusion cache.
+
+    Shrinking takes effect lazily: existing entries beyond the new bound
+    are evicted as new kernels arrive.
+    """
+    if maxsize is not None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        _FUSION_CACHE.maxsize = maxsize
+    if clear:
+        _FUSION_CACHE.clear()
 
 
 def fused_unitary_cached(
@@ -93,9 +182,18 @@ def fused_unitary_cached(
 
     The returned matrix is a shared read-only instance; because the object
     is stable across calls, the dispatch analysis in :mod:`repro.sim.apply`
-    is also computed only once per kernel.
+    is also computed only once per kernel.  Backed by the bounded
+    :class:`FusionCache` (see :func:`configure_fusion_cache`).
     """
-    return _fused_cached(tuple(gates), None if qubits is None else tuple(qubits))
+    key = (tuple(gates), None if qubits is None else tuple(qubits))
+    hit = _FUSION_CACHE.lookup(key)
+    if hit is not None:
+        return hit
+    matrix, out_qubits = fused_unitary(gates, qubits)
+    matrix.setflags(write=False)
+    value = (matrix, out_qubits)
+    _FUSION_CACHE.store(key, value)
+    return value
 
 
 def apply_gate_sequence(state: np.ndarray, gates: Sequence[Gate]) -> np.ndarray:
