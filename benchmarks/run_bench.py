@@ -29,6 +29,14 @@ preserves:
   gate requires the cache to prove ``sweep_size - 1`` hits, every warm
   state to match its cold counterpart, and the warm path to be ≥ 5x
   faster end-to-end;
+* **plan** — the cold planning path: every library family x machine shape
+  (4-shard split and single-shard "fits locally") planned by the seed
+  planner (full ILP iteration + reference beam DP, reconstructed as a
+  pipeline) and by each preset (``fast`` / ``balanced`` / ``quality``).
+  The ``--quick`` gate requires the fast preset's median speedup over the
+  seed planner to stay ≥ 2x with per-entry ``total_kernel_cost`` no worse
+  than the seed plan, and the preset quality ladder to stay monotone
+  (quality ≤ balanced ≤ fast kernel cost);
 * **compile** — the compiled-program layer: one plan lowered once to a
   :class:`repro.sim.CompiledProgram` and re-executed many times versus the
   per-gate interpreter (`execute_plan(compiled=False)`), program rebind
@@ -71,7 +79,8 @@ except ImportError:  # pragma: no cover
 import numpy as np
 
 from repro import Session, simulate
-from repro.circuits.library import qft, vqc
+from repro.circuits.library import ghz, graphstate, ising, qft, vqc, wstate
+from repro.planner import PassManager, resolve_planner
 from repro.cluster import MachineConfig
 from repro.core import KernelizeConfig, partition
 from repro.runtime import (
@@ -529,6 +538,112 @@ def run_compile_bench(
 
 
 # ---------------------------------------------------------------------------
+# Planning-pipeline benchmark (cold path)
+# ---------------------------------------------------------------------------
+
+#: Circuit families of the planning sweep, by name.
+PLAN_FAMILIES = {
+    "qft": qft,
+    "ghz": ghz,
+    "vqc": vqc,
+    "ising": ising,
+    "graphstate": graphstate,
+    "wstate": wstate,
+}
+
+#: (family, qubits) entries: quick subset first, full run adds the rest.
+PLAN_SWEEP_QUICK = [("qft", 10), ("ghz", 10), ("vqc", 8)]
+PLAN_SWEEP_FULL = PLAN_SWEEP_QUICK + [
+    ("qft", 12),
+    ("ising", 12),
+    ("graphstate", 12),
+    ("wstate", 12),
+    ("vqc", 10),
+]
+
+PLAN_PRESETS = ("fast", "balanced", "quality")
+
+
+def _seed_planner() -> PassManager:
+    """The seed planner as a pipeline: full ILP iteration (no shortcuts)
+    plus the reference beam DP — the pre-pipeline ``partition()`` code
+    path, pass for pass."""
+    return PassManager(
+        [
+            ("analyze", {}),
+            (
+                "stage",
+                {
+                    "stager": "ilp",
+                    "single_stage_shortcut": False,
+                    "lower_bound_start": False,
+                    "ilp_time_limit": 120.0,
+                },
+            ),
+            ("kernelize", {"kernelizer": "atlas-ref"}),
+            ("finalize", {}),
+        ],
+        preset="seed",
+    )
+
+
+def run_plan_pipeline_bench(sweep: list[tuple[str, int]], repeats: int = 2) -> dict:
+    """Cold-plan latency and plan quality per preset vs the seed planner.
+
+    Every (family, qubits) entry is planned on two machine shapes — a
+    4-shard split (staging required) and a single-shard machine (the
+    fits-locally shortcut territory) — by the seed planner and by each
+    preset.  Median fast-vs-seed speedup across all entries is the
+    headline; per-entry kernel costs feed the no-worse-than-seed gate.
+    """
+    entries: dict[str, dict] = {}
+    speedups: list[float] = []
+    for family_name, n in sweep:
+        circuit = PLAN_FAMILIES[family_name](n)
+        for shape, machine in (
+            ("sharded", MachineConfig.for_circuit(n, num_shards=4, local_qubits=n - 2)),
+            ("local", MachineConfig.for_circuit(n, num_shards=1)),
+        ):
+            seed_manager = _seed_planner()
+            seed_seconds = _best_seconds(
+                lambda: seed_manager.run(circuit, machine), repeats
+            )
+            _plan, seed_report = seed_manager.run(circuit, machine)
+            entry = {
+                "family": family_name,
+                "num_qubits": n,
+                "num_gates": len(circuit),
+                "shape": shape,
+                "seed_seconds": seed_seconds,
+                "seed_kernel_cost": seed_report.total_kernel_cost,
+                "seed_stages": seed_report.num_stages,
+                "presets": {},
+            }
+            for preset in PLAN_PRESETS:
+                manager = resolve_planner(preset)
+                preset_seconds = _best_seconds(
+                    lambda: manager.run(circuit, machine), repeats
+                )
+                plan, report = manager.run(circuit, machine)
+                plan.validate(circuit)
+                entry["presets"][preset] = {
+                    "seconds": preset_seconds,
+                    "speedup_vs_seed": seed_seconds / preset_seconds,
+                    "kernel_cost": report.total_kernel_cost,
+                    "num_stages": report.num_stages,
+                    "num_kernels": report.num_kernels,
+                    "passes_skipped": dict(report.passes_skipped),
+                }
+            speedups.append(entry["presets"]["fast"]["speedup_vs_seed"])
+            entries[f"{family_name}-{n}/{shape}"] = entry
+    return {
+        "entries": entries,
+        "fast_median_speedup_vs_seed": float(np.median(speedups)),
+        "fast_min_speedup_vs_seed": float(np.min(speedups)),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Baseline comparison
 # ---------------------------------------------------------------------------
 
@@ -543,6 +658,50 @@ def check_regression(
     Benchmarks at different sizes are not compared.
     """
     problems: list[str] = []
+    # Planning-pipeline invariants are current-run properties: the fast
+    # preset must beat the seed planner >= 2x at the median while never
+    # producing a costlier plan, and the preset quality ladder must be
+    # monotone (quality <= balanced <= fast kernel cost).
+    planner = current.get("plan") or {}
+    if planner:
+        if planner["fast_median_speedup_vs_seed"] < 2.0:
+            problems.append(
+                f"plan: fast preset median speedup "
+                f"{planner['fast_median_speedup_vs_seed']:.2f}x vs the seed "
+                f"planner (< 2x)"
+            )
+        for key, entry in planner["entries"].items():
+            presets = entry["presets"]
+            if presets["fast"]["kernel_cost"] > entry["seed_kernel_cost"] + 1e-9:
+                problems.append(
+                    f"plan[{key}]: fast preset kernel cost "
+                    f"{presets['fast']['kernel_cost']:.4f} worse than seed "
+                    f"{entry['seed_kernel_cost']:.4f}"
+                )
+            if (
+                presets["balanced"]["kernel_cost"]
+                > presets["fast"]["kernel_cost"] + 1e-9
+                or presets["quality"]["kernel_cost"]
+                > presets["balanced"]["kernel_cost"] + 1e-9
+            ):
+                problems.append(
+                    f"plan[{key}]: preset quality ladder not monotone "
+                    f"(fast {presets['fast']['kernel_cost']:.4f}, balanced "
+                    f"{presets['balanced']['kernel_cost']:.4f}, quality "
+                    f"{presets['quality']['kernel_cost']:.4f})"
+                )
+    base_planner = baseline.get("plan") or {}
+    for key, old_entry in base_planner.get("entries", {}).items():
+        new_entry = (planner.get("entries") or {}).get(key)
+        if new_entry is None:
+            continue
+        old_fast = old_entry["presets"]["fast"]["seconds"]
+        new_fast = new_entry["presets"]["fast"]["seconds"]
+        if new_fast > threshold * old_fast:
+            problems.append(
+                f"plan[{key}]: fast preset {new_fast*1e3:.1f} ms vs baseline "
+                f"{old_fast*1e3:.1f} ms (>{threshold}x regression)"
+            )
     # Bit-exactness is a property of the current run alone — flag a
     # divergent parallel result even when the baseline has no matching
     # offload entry to compare wall times against.
@@ -749,12 +908,22 @@ def run_suite(
     session_sweep: int = 50,
     compile_sizes: list[int] | None = None,
     compile_batch: int = 16,
+    planner_sweep: list[tuple[str, int]] | None = None,
 ) -> dict:
     offload_sizes = offload_sizes or []
     session_sizes = session_sizes or []
     compile_sizes = compile_sizes or []
+    planner_sweep = planner_sweep if planner_sweep is not None else []
+    # The planning sweep runs first: its seed-vs-preset latency ratios are
+    # the most allocation-sensitive measurement in the suite, so it should
+    # not inherit a heap fragmented by the state-vector scenarios.
+    planner_results = (
+        run_plan_pipeline_bench(planner_sweep, min(3, repeats))
+        if planner_sweep
+        else {}
+    )
     return {
-        "schema": 4,
+        "schema": 5,
         "config": {
             "micro_qubits": micro_sizes,
             "plan_qubits": plan_sizes,
@@ -763,6 +932,7 @@ def run_suite(
             "session_sweep": session_sweep,
             "compile_qubits": compile_sizes,
             "compile_batch": compile_batch,
+            "planner_sweep": [list(e) for e in planner_sweep],
             "repeats": repeats,
         },
         "micro": {str(n): run_micro(n, repeats) for n in micro_sizes},
@@ -778,6 +948,7 @@ def run_suite(
             str(n): run_compile_bench(n, repeats, batch_size=compile_batch)
             for n in compile_sizes
         },
+        "plan": planner_results,
     }
 
 
@@ -824,6 +995,13 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="regression factor that fails the --quick check",
     )
+    parser.add_argument(
+        "--dump",
+        type=Path,
+        default=None,
+        help="also write this run's results JSON here (works with --quick; "
+        "does not touch the committed baseline)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -833,6 +1011,7 @@ def main(argv: list[str] | None = None) -> int:
         session_sizes = [min(args.session_qubits, 10)]
         session_sweep = min(args.session_sweep, 10)
         compile_sizes = [min(args.compile_qubits, 10)]
+        planner_sweep = PLAN_SWEEP_QUICK
         args.repeats = min(args.repeats, 3)
     else:
         # The full run also measures the quick sizes so `--quick` always has
@@ -843,6 +1022,7 @@ def main(argv: list[str] | None = None) -> int:
         session_sizes = sorted({10, args.session_qubits})
         session_sweep = args.session_sweep
         compile_sizes = sorted({10, args.compile_qubits})
+        planner_sweep = PLAN_SWEEP_FULL
 
     results = run_suite(
         micro_sizes,
@@ -853,6 +1033,7 @@ def main(argv: list[str] | None = None) -> int:
         session_sweep,
         compile_sizes,
         args.compile_batch,
+        planner_sweep,
     )
 
     for size in micro_sizes:
@@ -935,6 +1116,32 @@ def main(argv: list[str] | None = None) -> int:
             f"offload {'ok' if comp['offload_state_matches'] else 'MISMATCH'}; "
             f"parallel {par}"
         )
+
+    planner = results.get("plan") or {}
+    if planner:
+        print(
+            f"plan (pipeline, {len(planner['entries'])} entries): fast preset "
+            f"median {planner['fast_median_speedup_vs_seed']:.2f}x / min "
+            f"{planner['fast_min_speedup_vs_seed']:.2f}x vs seed planner"
+        )
+        for key, entry in planner["entries"].items():
+            fast = entry["presets"]["fast"]
+            quality = entry["presets"]["quality"]
+            cost_flag = (
+                "cost=" if fast["kernel_cost"] <= entry["seed_kernel_cost"] + 1e-9
+                else "COST-WORSE"
+            )
+            print(
+                f"  {key:22s} seed {entry['seed_seconds']*1e3:7.1f} ms | fast "
+                f"{fast['seconds']*1e3:7.1f} ms ({fast['speedup_vs_seed']:5.2f}x, "
+                f"{cost_flag}{fast['kernel_cost']:.2f} vs seed "
+                f"{entry['seed_kernel_cost']:.2f}) | quality cost "
+                f"{quality['kernel_cost']:.2f}"
+            )
+
+    if args.dump is not None:
+        args.dump.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"dumped results to {args.dump}")
 
     if args.quick and not args.write:
         if not args.baseline.exists():

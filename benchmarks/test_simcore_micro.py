@@ -120,6 +120,28 @@ class TestCompiledPrograms:
         assert compile_results["rebind_seconds"] < compile_results["compile_seconds"] * 5
 
 
+class TestPlannerPresets:
+    @pytest.fixture(scope="class")
+    def planner_results(self):
+        return run_bench.run_plan_pipeline_bench(
+            run_bench.PLAN_SWEEP_QUICK, repeats=3
+        )
+
+    def test_fast_preset_median_speedup(self, planner_results):
+        assert planner_results["fast_median_speedup_vs_seed"] >= 2.0
+
+    def test_fast_preset_cost_never_worse_than_seed(self, planner_results):
+        for key, entry in planner_results["entries"].items():
+            fast = entry["presets"]["fast"]
+            assert fast["kernel_cost"] <= entry["seed_kernel_cost"] + 1e-9, key
+
+    def test_preset_quality_ladder_monotone(self, planner_results):
+        for key, entry in planner_results["entries"].items():
+            presets = entry["presets"]
+            assert presets["balanced"]["kernel_cost"] <= presets["fast"]["kernel_cost"] + 1e-9, key
+            assert presets["quality"]["kernel_cost"] <= presets["balanced"]["kernel_cost"] + 1e-9, key
+
+
 class TestBaselineRegression:
     def test_quick_run_has_no_regression_vs_committed_baseline(self):
         baseline_path = run_bench.DEFAULT_BASELINE
@@ -129,6 +151,7 @@ class TestBaselineRegression:
         current = run_bench.run_suite(
             micro_sizes=[16], plan_sizes=[14], repeats=3, offload_sizes=[12],
             session_sizes=[10], session_sweep=10, compile_sizes=[10],
+            planner_sweep=run_bench.PLAN_SWEEP_QUICK,
         )
         problems = run_bench.check_regression(current, baseline, threshold=2.0)
         assert not problems, "\n".join(problems)
@@ -137,6 +160,7 @@ class TestBaselineRegression:
         current = run_bench.run_suite(
             micro_sizes=[16], plan_sizes=[14], repeats=2, offload_sizes=[12],
             session_sizes=[10], session_sweep=4, compile_sizes=[10],
+            planner_sweep=run_bench.PLAN_SWEEP_QUICK[:1],
         )
         assert run_bench.check_regression(current, current) == []
         slowed = json.loads(json.dumps(current))
@@ -154,5 +178,11 @@ class TestBaselineRegression:
         slowed["compile"]["10"]["batched"]["speedup_vs_loop"] = 1.0
         slowed["compile"]["10"]["batched"]["states_match"] = False
         slowed["compile"]["10"]["parallel_bit_exact"]["2"] = False
+        slowed["plan"]["fast_median_speedup_vs_seed"] = 1.0
+        first_plan = next(iter(slowed["plan"]["entries"].values()))
+        first_plan["presets"]["fast"]["kernel_cost"] = (
+            first_plan["seed_kernel_cost"] * 2.0
+        )
+        first_plan["presets"]["fast"]["seconds"] *= 10.0
         problems = run_bench.check_regression(current=slowed, baseline=current)
-        assert len(problems) >= 11
+        assert len(problems) >= 14

@@ -13,12 +13,17 @@ times:
   kernel widths each strategy chooses;
 * plan provenance — the same pipeline driven through the
   :class:`repro.Session` facade, showing what its structural plan cache
-  stores and when a second circuit hits it.
+  stores and when a second circuit hits it;
+* planning presets — the PassManager pipeline's ``fast`` / ``balanced`` /
+  ``quality`` presets on one circuit: cold-plan latency, kernel cost, and
+  the per-pass telemetry each report carries (see ``docs/planning.md``).
 
 Run with:  python examples/partitioning_deep_dive.py
 """
 
-from repro import MachineConfig, Session
+import time
+
+from repro import MachineConfig, Session, build_plan
 from repro.circuits.library import ising, qft, vqc
 from repro.core import (
     KernelizeConfig,
@@ -88,7 +93,31 @@ def provenance_study() -> None:
     print()
 
 
+def preset_study() -> None:
+    num_qubits = 12
+    circuit = qft(num_qubits)
+    machine = MachineConfig.for_circuit(num_qubits, num_shards=4, local_qubits=10)
+    print("Planning presets on", circuit.name)
+    for preset in ("fast", "balanced", "quality"):
+        start = time.perf_counter()
+        plan, report = build_plan(circuit, machine, planner=preset)
+        elapsed = time.perf_counter() - start
+        skipped = ", ".join(report.passes_skipped) or "none"
+        print(
+            f"  {preset:<9} {elapsed * 1e3:7.1f} ms  cost "
+            f"{report.total_kernel_cost:6.2f}  stages {report.num_stages}  "
+            f"pipeline {' -> '.join(report.pipeline)}  skipped: {skipped}"
+        )
+    # The fits-locally shortcut: a single-shard machine needs no staging
+    # solver at all — the stage pass records why it skipped it.
+    local_machine = MachineConfig.for_circuit(num_qubits, num_shards=1)
+    _plan, report = build_plan(circuit, local_machine, planner="fast")
+    print(f"  single-shard machine: {report.passes_skipped['stage']}")
+    print()
+
+
 if __name__ == "__main__":
     staging_study()
     kernelization_study()
     provenance_study()
+    preset_study()

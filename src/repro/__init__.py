@@ -46,11 +46,12 @@ from .core import (
     PartitionReport,
     partition,
 )
+from .planner import PassManager, available_presets, build_plan, register_preset
 from .runtime import TimingBreakdown, compile_plan, execute_plan, model_simulation_time
 from .session import Job, Result, Session
 from .sim import CompiledProgram, StateVector, simulate_reference
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Circuit",
@@ -75,6 +76,10 @@ __all__ = [
     "Session",
     "Job",
     "Result",
+    "PassManager",
+    "build_plan",
+    "available_presets",
+    "register_preset",
     "SimulationResult",
     "simulate",
     "__version__",
@@ -96,6 +101,7 @@ def simulate(
     machine: MachineConfig,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     initial_state: StateVector | None = None,
+    planner: "str | PassManager | None" = None,
     stager: str = "ilp",
     kernelizer: str = "atlas",
     kernelize_config: KernelizeConfig | None = None,
@@ -119,19 +125,28 @@ def simulate(
         Kernel cost model used by the kernelizer and the timing model.
     initial_state:
         Optional starting state (default |0…0>).
+    planner:
+        Planning pipeline preset name or :class:`PassManager`; when given
+        it replaces the legacy knobs below (see :mod:`repro.planner`).
     stager, kernelizer, kernelize_config:
-        Partitioning strategy knobs (see :func:`repro.core.partition`).
+        Legacy partitioning strategy knobs (see :func:`repro.core.partition`).
     execute:
         When False, skip the functional state-vector execution (useful for
         circuits too large to materialise) and return ``state=None``.
     """
+    if planner is not None:
+        session_kwargs = dict(planner=planner)
+    else:
+        session_kwargs = dict(
+            stager=stager,
+            kernelizer=kernelizer,
+            kernelize_config=kernelize_config,
+        )
     with Session(
         machine,
         backend="incore",
         cost_model=cost_model,
-        stager=stager,
-        kernelizer=kernelizer,
-        kernelize_config=kernelize_config,
+        **session_kwargs,
     ) as session:
         result = session.run(
             circuit, initial_state=initial_state, execute=execute

@@ -11,6 +11,7 @@ from .experiments import (
     figure14_24_per_circuit_cost,
     figure25_hhl_case_study,
     figure26_36_preprocessing_time,
+    planner_preset_comparison,
     session_amortization,
     table1_circuit_sizes,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "figure14_24_per_circuit_cost",
     "figure25_hhl_case_study",
     "figure26_36_preprocessing_time",
+    "planner_preset_comparison",
     "session_amortization",
     "format_table",
     "format_series",

@@ -26,6 +26,7 @@ from ..core.kernelize import KernelizeConfig, kernelize
 from ..core.ordered_kernelize import ordered_kernelize
 from ..core.stage import stage_circuit
 from ..core.stage_heuristics import snuqs_stage_circuit
+from ..planner import resolve_planner
 from ..session import Session
 from .reporting import geometric_mean
 
@@ -41,6 +42,7 @@ __all__ = [
     "figure14_24_per_circuit_cost",
     "figure25_hhl_case_study",
     "figure26_36_preprocessing_time",
+    "planner_preset_comparison",
     "session_amortization",
 ]
 
@@ -491,4 +493,45 @@ def figure26_36_preprocessing_time(
         greedy_kernelize(circuit, cost_model)
         timings["greedy_s"] = time.perf_counter() - t0
         rows.append({"qubits": n, **timings})
+    return rows
+
+
+def planner_preset_comparison(
+    families: Sequence[str] = ("qft", "ghz", "ising"),
+    num_qubits: int = 12,
+    presets: Sequence[str] = ("fast", "balanced", "quality"),
+    num_shards: int = 4,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> list[dict]:
+    """Cold-plan latency and quality per planning preset.
+
+    The planning-side companion of :func:`session_amortization`: for every
+    family the circuit is cold-planned by each preset of the PassManager
+    pipeline (see ``docs/planning.md``); the rows carry the measured
+    latency, the plan quality, and the passes each preset skipped —
+    the data behind the ``plan`` scenario of ``benchmarks/run_bench.py``.
+    """
+    rows = []
+    for family in families:
+        circuit = get_circuit(family, num_qubits)
+        machine = MachineConfig.for_circuit(
+            num_qubits, num_shards=num_shards,
+            local_qubits=num_qubits - max(1, num_shards.bit_length() - 1),
+        )
+        for preset in presets:
+            manager = resolve_planner(preset)
+            start = time.perf_counter()
+            _plan, report = manager.run(circuit, machine, cost_model=cost_model)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                {
+                    "circuit": family,
+                    "preset": preset,
+                    "plan_s": elapsed,
+                    "kernel_cost": report.total_kernel_cost,
+                    "stages": report.num_stages,
+                    "kernels": report.num_kernels,
+                    "passes_skipped": ", ".join(report.passes_skipped) or "-",
+                }
+            )
     return rows

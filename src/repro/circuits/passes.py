@@ -14,7 +14,11 @@ those passes as pure functions on :class:`~repro.circuits.circuit.Circuit`:
 * :func:`merge_single_qubit_runs` — fuse maximal runs of single-qubit gates
   on the same qubit into one ``u3`` gate;
 * :func:`optimize` — the standard pipeline (decompose → merge → cancel),
-  run to a fixed point.
+  run to a fixed point;
+* :func:`preprocess_circuit` — the same passes behind a *named registry*
+  (:data:`CIRCUIT_PASSES`), so callers — and the planning pipeline's
+  optional ``preprocess`` pass (:mod:`repro.planner`) — can select and
+  order them explicitly.
 
 Every pass is semantics-preserving; the test suite checks each one against
 the reference simulator on random circuits.
@@ -35,6 +39,8 @@ __all__ = [
     "cancel_adjacent_inverses",
     "merge_single_qubit_runs",
     "optimize",
+    "preprocess_circuit",
+    "CIRCUIT_PASSES",
 ]
 
 
@@ -129,12 +135,8 @@ def cancel_adjacent_inverses(circuit: Circuit) -> Circuit:
                 adjacent = False
         prev = gates[prev_idx] if (adjacent and prev_idx is not None) else None
         merged = False
-        if prev is not None and prev is not None and prev_idx is not None:
-            if (
-                prev is not None
-                and gates[prev_idx] is not None
-                and prev.qubits == gate.qubits
-            ):
+        if prev is not None and prev_idx is not None:
+            if gates[prev_idx] is not None and prev.qubits == gate.qubits:
                 if gate.name in _SELF_INVERSE and prev.name == gate.name and not gate.params:
                     gates[prev_idx] = None
                     gates[idx] = None
@@ -249,4 +251,36 @@ def optimize(circuit: Circuit, max_rounds: int = 4) -> Circuit:
         current = merge_single_qubit_runs(current)
         if len(current) >= before:
             break
+    return current
+
+
+#: Named circuit-transformation passes, selectable by
+#: :func:`preprocess_circuit` and by the planning pipeline's optional
+#: ``preprocess`` pass.  Every entry maps a circuit to a semantics-
+#: equivalent circuit.
+CIRCUIT_PASSES: dict = {
+    "decompose": decompose_gates,
+    "cancel": cancel_adjacent_inverses,
+    "merge-1q": merge_single_qubit_runs,
+    "optimize": optimize,
+}
+
+
+def preprocess_circuit(circuit: Circuit, passes=("optimize",)) -> Circuit:
+    """Run the named circuit passes in order (see :data:`CIRCUIT_PASSES`).
+
+    Returns a semantics-equivalent circuit; gate count and gate indices may
+    change, so anything keyed on the *input* circuit's indices (structural
+    plan-cache rebinds in particular) must be keyed on the returned circuit
+    instead.
+    """
+    current = circuit
+    for name in passes:
+        try:
+            fn = CIRCUIT_PASSES[name]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown circuit pass {name!r}; known: {sorted(CIRCUIT_PASSES)}"
+            ) from exc
+        current = fn(current)
     return current

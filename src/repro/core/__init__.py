@@ -1,5 +1,6 @@
 """Atlas's core contribution: hierarchical circuit partitioning (staging + kernelization)."""
 
+from .fast_kernelize import fast_kernelize
 from .greedy_kernelize import greedy_kernelize
 from .kernel import Kernel, KernelSequence, KernelType
 from .kernelize import KernelizeConfig, kernelize
@@ -15,6 +16,7 @@ __all__ = [
     "KernelType",
     "KernelizeConfig",
     "kernelize",
+    "fast_kernelize",
     "ordered_kernelize",
     "greedy_kernelize",
     "ExecutionPlan",

@@ -1,16 +1,28 @@
 """PARTITION — hierarchical partitioning (Algorithm 1 of the paper).
 
-``partition`` glues the two levels of the hierarchy together: it stages the
-circuit (ILP, Section IV) and then kernelizes every stage's subcircuit
+:func:`partition` glues the two levels of the hierarchy together: it stages
+the circuit (ILP, Section IV) and then kernelizes every stage's subcircuit
 (DP, Section V), returning an :class:`~repro.core.plan.ExecutionPlan` that
 the executors in :mod:`repro.runtime` can run and the performance model can
 time.
+
+Since the planning pipeline refactor the function is a thin compatibility
+wrapper over :mod:`repro.planner`: the legacy knobs (``stager=``,
+``kernelizer=``, ``kernelize_config=``) map onto a fixed
+:class:`~repro.planner.PassManager` pipeline via
+:func:`repro.planner.legacy_pipeline`.  New code should prefer
+:func:`repro.planner.build_plan` (or ``Session(planner=...)``), which adds
+named presets, per-pass telemetry, refinement, and time budgets.
+
+The module-level :data:`KERNELIZERS` / :data:`STAGERS` dictionaries are the
+historical registries of the raw strategy functions, kept for backward
+compatibility; the pipeline's extensible registries live in
+:data:`repro.planner.KERNELIZERS` / :data:`repro.planner.STAGERS`.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..circuits.circuit import Circuit
 from ..cluster.costmodel import DEFAULT_COST_MODEL, CostModel
@@ -24,16 +36,21 @@ from .stage_heuristics import snuqs_stage_circuit
 
 __all__ = ["partition", "PartitionReport", "KERNELIZERS", "STAGERS"]
 
-#: Available kernelization strategies, keyed by the names used in the
-#: paper's figures ("atlas" = KERNELIZE, "atlas-naive" = ORDERED-KERNELIZE,
-#: "greedy" = the 5-qubit packing baseline).
+#: Historical registry of the raw kernelization functions, keyed by the
+#: names used in the paper's figures ("atlas" = KERNELIZE, "atlas-naive" =
+#: ORDERED-KERNELIZE, "greedy" = the 5-qubit packing baseline).  The
+#: pipeline registry (:data:`repro.planner.KERNELIZERS`) additionally
+#: carries "atlas" as the fast bitmask implementation and "atlas-ref" as
+#: this reference one.
 KERNELIZERS = {
     "atlas": kernelize,
     "atlas-naive": ordered_kernelize,
     "greedy": greedy_kernelize,
 }
 
-#: Available staging strategies ("ilp" = Atlas, "snuqs" = the greedy baseline).
+#: Historical registry of the raw staging functions ("ilp" = Atlas,
+#: "snuqs" = the greedy baseline); see :data:`repro.planner.STAGERS` for
+#: the pipeline registry.
 STAGERS = {
     "ilp": stage_circuit,
     "snuqs": snuqs_stage_circuit,
@@ -42,7 +59,14 @@ STAGERS = {
 
 @dataclass
 class PartitionReport:
-    """Timing and size metadata of one partitioning run (paper Section VII-A-b)."""
+    """Timing, size and telemetry metadata of one planning run.
+
+    The first six fields are the original report (paper Section VII-A-b);
+    the rest carry the pipeline's per-pass telemetry: which preset and
+    passes produced the plan, how long each pass took, which passes skipped
+    their work and why, and each pass's quality metrics (stage counts,
+    per-stage kernel costs, refinement savings, ...).
+    """
 
     staging_seconds: float
     kernelization_seconds: float
@@ -50,10 +74,43 @@ class PartitionReport:
     num_kernels: int
     communication_cost: float
     total_kernel_cost: float
+    #: Preset name that produced the plan ("" for legacy/custom pipelines).
+    preset: str = ""
+    #: Pass names in run order ("" pipelines included).
+    pipeline: tuple[str, ...] = ()
+    #: Wall seconds per pass, in run order.
+    pass_seconds: dict[str, float] = field(default_factory=dict)
+    #: Skipped pass name -> why it skipped its work (e.g. the stage pass
+    #: after the fits-locally shortcut).
+    passes_skipped: dict[str, str] = field(default_factory=dict)
+    #: Pass name -> that pass's metrics dictionary.
+    pass_metrics: dict[str, dict] = field(default_factory=dict)
 
     @property
     def preprocessing_seconds(self) -> float:
         return self.staging_seconds + self.kernelization_seconds
+
+    @property
+    def planning_seconds(self) -> float:
+        """Total pipeline wall time (falls back to staging + kernelize)."""
+        if self.pass_seconds:
+            return sum(self.pass_seconds.values())
+        return self.preprocessing_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "staging_seconds": self.staging_seconds,
+            "kernelization_seconds": self.kernelization_seconds,
+            "planning_seconds": self.planning_seconds,
+            "num_stages": self.num_stages,
+            "num_kernels": self.num_kernels,
+            "communication_cost": self.communication_cost,
+            "total_kernel_cost": self.total_kernel_cost,
+            "preset": self.preset,
+            "pipeline": list(self.pipeline),
+            "pass_seconds": dict(self.pass_seconds),
+            "passes_skipped": dict(self.passes_skipped),
+        }
 
 
 def partition(
@@ -92,53 +149,15 @@ def partition(
     (plan, report):
         The execution plan plus preprocessing statistics.
     """
+    # Imported here: repro.planner imports this module for PartitionReport.
+    from ..planner.pipeline import legacy_pipeline
+
     machine.validate(circuit.num_qubits)
-    if stager not in STAGERS:
-        raise ValueError(f"unknown stager {stager!r}; known: {sorted(STAGERS)}")
-    if kernelizer not in KERNELIZERS:
-        raise ValueError(f"unknown kernelizer {kernelizer!r}; known: {sorted(KERNELIZERS)}")
-
-    t0 = time.perf_counter()
-    if stager == "ilp":
-        staging = stage_circuit(
-            circuit,
-            machine.local_qubits,
-            machine.regional_qubits,
-            machine.global_qubits,
-            inter_node_cost_factor=machine.inter_node_cost_factor,
-            backend=ilp_backend,
-            time_limit=ilp_time_limit,
-        )
-    else:
-        staging = snuqs_stage_circuit(
-            circuit,
-            machine.local_qubits,
-            machine.regional_qubits,
-            machine.global_qubits,
-            inter_node_cost_factor=machine.inter_node_cost_factor,
-        )
-    staging_seconds = time.perf_counter() - t0
-
-    t1 = time.perf_counter()
-    kernelizer_fn = KERNELIZERS[kernelizer]
-    for stage in staging.stages:
-        if kernelizer == "atlas" and kernelize_config is not None:
-            stage.kernels = kernelizer_fn(stage.gates, cost_model, kernelize_config)
-        else:
-            stage.kernels = kernelizer_fn(stage.gates, cost_model)
-    kernelization_seconds = time.perf_counter() - t1
-
-    plan = ExecutionPlan(
-        num_qubits=circuit.num_qubits,
-        stages=staging.stages,
-        circuit_name=circuit.name,
+    manager = legacy_pipeline(
+        stager=stager,
+        kernelizer=kernelizer,
+        kernelize_config=kernelize_config,
+        ilp_backend=ilp_backend,
+        ilp_time_limit=ilp_time_limit,
     )
-    report = PartitionReport(
-        staging_seconds=staging_seconds,
-        kernelization_seconds=kernelization_seconds,
-        num_stages=plan.num_stages,
-        num_kernels=plan.num_kernels,
-        communication_cost=staging.communication_cost,
-        total_kernel_cost=plan.total_kernel_cost,
-    )
-    return plan, report
+    return manager.run(circuit, machine, cost_model=cost_model)

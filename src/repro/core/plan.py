@@ -121,6 +121,11 @@ class ExecutionPlan:
     num_qubits: int
     stages: list[Stage]
     circuit_name: str = "circuit"
+    #: Planning provenance stamped by the pipeline's finalize pass: which
+    #: preset and pass sequence produced the plan and which passes skipped
+    #: their work.  Carried through plan-cache rebinds so every executed
+    #: plan can say where it came from.
+    provenance: dict = field(default_factory=dict)
 
     @property
     def num_stages(self) -> int:
@@ -173,4 +178,5 @@ class ExecutionPlan:
             "num_kernels": self.num_kernels,
             "total_kernel_cost": self.total_kernel_cost,
             "gates_per_stage": [s.num_gates for s in self.stages],
+            "provenance": dict(self.provenance),
         }

@@ -22,6 +22,7 @@ This module implements:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -41,6 +42,11 @@ class StagingResult:
     communication_cost: float
     ilp_feasible: bool
     solver_status: str = ""
+    #: Wall seconds spent in the ILP iteration — model construction plus
+    #: solves, infeasible candidates included (0.0 for heuristic stagers).
+    solver_seconds: float = 0.0
+    #: Number of ILP solves performed (infeasible stage counts included).
+    num_solves: int = 0
 
     def partitions(self) -> list[QubitPartition]:
         return [s.partition for s in self.stages]
@@ -273,19 +279,36 @@ def stage_circuit(
     backend: str = "scipy",
     max_stages: int = 32,
     time_limit: float | None = 120.0,
+    min_stages: int = 1,
 ) -> StagingResult:
     """Algorithm 2: find the minimum feasible number of stages via the ILP.
+
+    ``min_stages`` starts the iteration higher than 1 when the caller has a
+    *provable* lower bound on the stage count (the planning pipeline passes
+    ``ceil(|U| / L)``, valid because ``s`` stages expose at most ``s * L``
+    distinct local qubits and every qubit of the non-insular union ``U``
+    must be local in some stage); stage counts below a correct bound are
+    infeasible, so skipping their solves cannot change the result.
 
     Raises :class:`RuntimeError` if no feasible staging exists within
     ``max_stages`` (which would indicate a circuit/architecture mismatch,
     e.g. a single gate with more non-insular qubits than ``L``).
     """
-    for s in range(1, max_stages + 1):
+    if min_stages < 1:
+        raise ValueError("min_stages must be at least 1")
+    solver_seconds = 0.0
+    num_solves = 0
+    for s in range(min_stages, max_stages + 1):
+        start = time.perf_counter()
         result = solve_staging(
             circuit, s, local_qubits, regional_qubits, global_qubits,
             inter_node_cost_factor, backend=backend, time_limit=time_limit,
         )
+        solver_seconds += time.perf_counter() - start
+        num_solves += 1
         if result is not None:
+            result.solver_seconds = solver_seconds
+            result.num_solves = num_solves
             return result
     raise RuntimeError(
         f"no feasible staging of {circuit.name!r} within {max_stages} stages "

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 from .branch_bound import solve_with_branch_and_bound
 from .model import (
     Constraint,
@@ -40,9 +42,20 @@ BACKENDS = {
 
 
 def solve(model: IlpModel, backend: str = "scipy", time_limit: float | None = None) -> Solution:
-    """Solve *model* with the named backend (``scipy``/``highs`` or ``branch-and-bound``)."""
+    """Solve *model* with the named backend (``scipy``/``highs`` or ``branch-and-bound``).
+
+    The returned solution carries the measured ``wall_seconds`` of this
+    solve as a per-call diagnostic for callers that time individual
+    solves.  (The staging loop's
+    :attr:`repro.core.stage.StagingResult.solver_seconds` is measured
+    separately around :func:`repro.core.stage.solve_staging` so that it
+    also covers model construction and infeasible candidates.)
+    """
     try:
         solver = BACKENDS[backend]
     except KeyError as exc:
         raise ValueError(f"unknown ILP backend {backend!r}; known: {sorted(BACKENDS)}") from exc
-    return solver(model, time_limit=time_limit)
+    start = time.perf_counter()
+    solution = solver(model, time_limit=time_limit)
+    solution.wall_seconds = time.perf_counter() - start
+    return solution

@@ -202,6 +202,9 @@ class Solution:
     status: SolveStatus
     objective: float | None = None
     values: dict[int, float] = field(default_factory=dict)
+    #: Wall seconds of this solve, stamped by :func:`repro.ilp.solve` — a
+    #: per-call diagnostic for callers timing individual solves.
+    wall_seconds: float = 0.0
 
     def value(self, var: Variable) -> float:
         return self.values.get(var.index, 0.0)

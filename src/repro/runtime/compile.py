@@ -195,6 +195,7 @@ def compile_plan(
         kernels_per_stage=kernels_per_stage,
         locality_checked=check_locality,
         ops_reused=ops_reused,
+        provenance=plan.provenance,
     )
 
 

@@ -200,5 +200,8 @@ def rebind_plan(plan: ExecutionPlan, circuit: Circuit) -> ExecutionPlan:
             )
         )
     return ExecutionPlan(
-        num_qubits=plan.num_qubits, stages=stages, circuit_name=circuit.name
+        num_qubits=plan.num_qubits,
+        stages=stages,
+        circuit_name=circuit.name,
+        provenance=dict(plan.provenance),
     )

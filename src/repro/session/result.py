@@ -116,6 +116,11 @@ class Result:
             "wall_seconds": self.wall_seconds,
             "shots": self.shots,
             "expectations": {k: v for k, v in self.expectations.items()},
+            # Plan provenance: which pipeline/preset produced the plan (a
+            # cache hit carries it over from the entry that built it), and
+            # — for the run that actually planned — the per-pass telemetry.
+            "plan_provenance": dict(self.plan.provenance),
+            "planning": self.report.as_dict() if self.report is not None else None,
         }
 
 

@@ -42,8 +42,9 @@ from ..circuits.circuit import Circuit
 from ..cluster.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..cluster.machine import MachineConfig
 from ..core.kernelize import KernelizeConfig
-from ..core.partitioner import PartitionReport, partition
+from ..core.partitioner import PartitionReport
 from ..core.plan import ExecutionPlan
+from ..planner.pipeline import PassManager, legacy_pipeline, resolve_planner
 from ..runtime.compile import compile_plan
 from ..sim.fusion import fusion_cache_stats
 from ..sim.program import CompiledProgram
@@ -59,6 +60,10 @@ from .cache import PlanCache, freeze_config, plan_cache_key, rebind_plan
 from .result import Job, Result, normalize_observable
 
 __all__ = ["Session", "SessionStats"]
+
+#: Sentinel distinguishing "knob not passed" from an explicit ``None``
+#: (``ilp_time_limit=None`` means an unlimited per-solve budget).
+_UNSET = object()
 
 
 @dataclass
@@ -77,6 +82,11 @@ class SessionStats:
     plan_seconds: float = 0.0
     #: Wall time spent in functional execution, seconds.
     execute_seconds: float = 0.0
+    #: Cumulative wall seconds per planning pass across cache misses.
+    planning_pass_seconds: dict[str, float] = field(default_factory=dict)
+    #: Planning-pass skip counters: pass name -> times it skipped its work
+    #: (e.g. the stage pass after the fits-locally shortcut).
+    planning_passes_skipped: dict[str, int] = field(default_factory=dict)
     #: Parallel-runtime segmentation cache counters (hits, misses).
     schedule_cache_hits: int = 0
     schedule_cache_misses: int = 0
@@ -108,6 +118,8 @@ class SessionStats:
             ),
             "backend_runs": dict(self.backend_runs),
             "plan_seconds": self.plan_seconds,
+            "planning_pass_seconds": dict(self.planning_pass_seconds),
+            "planning_passes_skipped": dict(self.planning_passes_skipped),
             "execute_seconds": self.execute_seconds,
             "schedule_cache_hits": self.schedule_cache_hits,
             "schedule_cache_misses": self.schedule_cache_misses,
@@ -133,9 +145,20 @@ class Session:
         device memory), one of the registered executors (``"reference"``,
         ``"incore"``, ``"offload"``, ``"parallel"``), or a modelled
         baseline (``"hyquas"``, ``"cuquantum"``, ``"qiskit"``).
-    cost_model, stager, kernelizer, kernelize_config:
-        Planning configuration (see :func:`repro.core.partition`); part of
-        the plan-cache key.
+    planner:
+        Planning pipeline: a preset name (``"fast"`` / ``"balanced"`` /
+        ``"quality"`` or anything registered with
+        :func:`repro.planner.register_preset`), a
+        :class:`repro.planner.PassManager`, or ``None`` for the default
+        (``"balanced"``; per-:meth:`run` override available).  The full
+        pipeline configuration is part of the plan-cache key, so plans
+        produced by different pipelines never alias each other.
+    cost_model:
+        Kernel cost model; part of the plan-cache key.
+    stager, kernelizer, kernelize_config, ilp_time_limit:
+        Legacy planning knobs (see :func:`repro.core.partition`), mapped
+        onto a fixed pipeline via :func:`repro.planner.legacy_pipeline`.
+        Mutually exclusive with ``planner``.
     seed:
         Seed of the session RNG used for measurement sampling.  Repeated
         ``run(shots=...)`` calls draw *independent* samples from this one
@@ -152,10 +175,11 @@ class Session:
         machine: MachineConfig | None = None,
         backend: str = "auto",
         cost_model: CostModel = DEFAULT_COST_MODEL,
-        stager: str = "ilp",
-        kernelizer: str = "atlas",
+        planner: "str | PassManager | None" = None,
+        stager: str | None = None,
+        kernelizer: str | None = None,
         kernelize_config: KernelizeConfig | None = None,
-        ilp_time_limit: float | None = 120.0,
+        ilp_time_limit: "float | None | object" = _UNSET,
         seed: int = 0,
         cache_size: int = 128,
     ):
@@ -167,10 +191,31 @@ class Session:
         self.machine = machine
         self.backend = backend
         self.cost_model = cost_model
-        self.stager = stager
-        self.kernelizer = kernelizer
+        legacy_given = (
+            stager is not None
+            or kernelizer is not None
+            or kernelize_config is not None
+            or ilp_time_limit is not _UNSET
+        )
+        if legacy_given:
+            if planner is not None:
+                raise ValueError(
+                    "pass planner=... or the legacy stager/kernelizer/"
+                    "kernelize_config/ilp_time_limit knobs, not both"
+                )
+            self.planner = legacy_pipeline(
+                stager=stager if stager is not None else "ilp",
+                kernelizer=kernelizer if kernelizer is not None else "atlas",
+                kernelize_config=kernelize_config,
+                # An explicit None keeps its historical meaning: no
+                # per-solve time limit.
+                ilp_time_limit=(
+                    120.0 if ilp_time_limit is _UNSET else ilp_time_limit
+                ),
+            )
+        else:
+            self.planner = resolve_planner(planner)
         self.kernelize_config = kernelize_config
-        self.ilp_time_limit = ilp_time_limit
         self.cache = PlanCache(maxsize=cache_size)
         self.stats = SessionStats()
         self._fusion_baseline = fusion_cache_stats()
@@ -234,12 +279,28 @@ class Session:
     # Planning (through the structural cache)
     # ------------------------------------------------------------------
 
-    def _planner_key(self) -> tuple:
+    def resolve_planner_manager(
+        self, planner: "str | PassManager | None" = None
+    ) -> PassManager:
+        """The pipeline a job with this *planner* override will plan with."""
+        if planner is None:
+            return self.planner
+        return resolve_planner(planner)
+
+    def _planner_key(self, manager: PassManager | None = None) -> tuple:
+        """Cache-key component identifying the full planning configuration.
+
+        Everything that can influence the produced plan is folded in: the
+        complete pipeline signature (pass sequence, every pass's options,
+        preset name, time budget) plus the cost model.  Two different
+        presets/pipelines therefore can never share — or rebind from — one
+        structural cache entry.
+        """
+        if manager is None:
+            manager = self.planner
         return (
             "atlas-pipeline",
-            self.stager,
-            self.kernelizer,
-            freeze_config(self.kernelize_config),
+            manager.signature(),
             freeze_config(self.cost_model),
         )
 
@@ -249,6 +310,7 @@ class Session:
         machine: MachineConfig | None = None,
         backend: str | None = None,
         compile_programs: bool = True,
+        planner: "str | PassManager | None" = None,
     ) -> tuple[ExecutionPlan, PartitionReport | None, bool, str, CompiledProgram | None]:
         """Plan *circuit* through the structural cache.
 
@@ -268,10 +330,11 @@ class Session:
         machine = self._resolve_machine(machine)
         backend_name = self.resolve_backend(circuit.num_qubits, machine, backend)
         backend_obj = self.backend_instance(backend_name)
+        manager = self.resolve_planner_manager(planner)
 
         planner_key = backend_obj.planner_key()
         if planner_key is None:
-            planner_key = self._planner_key()
+            planner_key = self._planner_key(manager)
         key = plan_cache_key(circuit, machine, planner_key)
         # Collision-resistant structure name (built-in hash() is not): the
         # blake2b structural fingerprint plus a digest of the machine and
@@ -305,15 +368,17 @@ class Session:
         if backend_plan is not None:
             plan, report = backend_plan, None
         else:
-            plan, report = partition(
-                circuit,
-                machine,
-                cost_model=self.cost_model,
-                stager=self.stager,
-                kernelizer=self.kernelizer,
-                kernelize_config=self.kernelize_config,
-                ilp_time_limit=self.ilp_time_limit,
+            plan, report = manager.run(
+                circuit, machine, cost_model=self.cost_model
             )
+            for name, seconds in report.pass_seconds.items():
+                self.stats.planning_pass_seconds[name] = (
+                    self.stats.planning_pass_seconds.get(name, 0.0) + seconds
+                )
+            for name in report.passes_skipped:
+                self.stats.planning_passes_skipped[name] = (
+                    self.stats.planning_passes_skipped.get(name, 0) + 1
+                )
         self.stats.plan_seconds += time.perf_counter() - t0
         self.stats.plans_built += 1
         program = None
@@ -337,6 +402,7 @@ class Session:
         initial_states=None,
         backend: str | None = None,
         machine: MachineConfig | None = None,
+        planner: "str | PassManager | None" = None,
         seed: int | None = None,
         execute: bool = True,
     ) -> Job:
@@ -359,8 +425,11 @@ class Session:
             One starting state for every circuit, or one per circuit.  A
             single circuit with ``initial_states=[...]`` fans out into one
             job item per state.  Default |0...0>.
-        backend, machine, seed:
-            Per-call overrides of the session defaults.
+        backend, machine, planner, seed:
+            Per-call overrides of the session defaults.  ``planner`` takes
+            a preset name or a :class:`repro.planner.PassManager`; the
+            override keys its own plan-cache entries, so switching presets
+            never rebinds another pipeline's cached plan.
         execute:
             When False, skip functional execution: results carry the plan
             and modelled timing with ``state=None`` (useful for circuits
@@ -417,7 +486,11 @@ class Session:
                 plan, report, hit, schedule_key, program = planned[id(circuit)]
             else:
                 plan, report, hit, schedule_key, program = self.plan_for(
-                    circuit, machine, backend_name, compile_programs=execute
+                    circuit,
+                    machine,
+                    backend_name,
+                    compile_programs=execute,
+                    planner=planner,
                 )
                 planned[id(circuit)] = (plan, report, hit, schedule_key, program)
             items.append((circuit, state, plan, report, hit, schedule_key, program))

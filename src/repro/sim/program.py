@@ -613,6 +613,7 @@ class CompiledProgram:
         kernels_per_stage: list[int] | None = None,
         locality_checked: bool = True,
         ops_reused: int = 0,
+        provenance: dict | None = None,
     ):
         self.num_qubits = num_qubits
         self.ops = ops
@@ -624,6 +625,10 @@ class CompiledProgram:
         self.locality_checked = locality_checked
         #: How many ops were taken verbatim from the reuse program (rebind).
         self.ops_reused = ops_reused
+        #: Planning provenance of the source plan (preset, pipeline, skips)
+        #: — carried through compilation and rebinds so runtime consumers
+        #: can attribute an executing program to the pipeline that planned it.
+        self.provenance = dict(provenance) if provenance else {}
 
     def __len__(self) -> int:
         return len(self.ops)
