@@ -12,8 +12,11 @@ The package is organised as:
 * :mod:`repro.core` — the paper's contribution: ILP circuit staging
   (Section IV), DP circuit kernelization (Section V), and the hierarchical
   partitioner that combines them (Algorithm 1),
-* :mod:`repro.runtime` — staged execution, DRAM offloading, and the
-  end-to-end timing model,
+* :mod:`repro.runtime` — staged execution, DRAM offloading, the
+  end-to-end timing model, and the deterministic fault-injection harness,
+* :mod:`repro.errors` — the typed error taxonomy (transient vs permanent)
+  plus the :class:`RetryPolicy` / :class:`Deadline` primitives that the
+  executors and the Session share,
 * :mod:`repro.session` — the :class:`Session` facade: pluggable execution
   backends, a structural plan cache, and the shots/observables job API,
 * :mod:`repro.baselines` — HyQuas / cuQuantum / Qiskit-Aer / QDAO simulator
@@ -40,6 +43,21 @@ from dataclasses import dataclass
 
 from .circuits import Circuit, Gate, from_qasm, make_gate, to_qasm
 from .cluster import DEFAULT_COST_MODEL, CostModel, MachineConfig
+from .errors import (
+    AdmissionError,
+    CacheCorruptionError,
+    Deadline,
+    DeadlineExceeded,
+    KernelError,
+    PermanentError,
+    PlanValidationError,
+    ReproError,
+    RetryPolicy,
+    SessionClosedError,
+    ShardIOError,
+    StateValidationError,
+    TransientError,
+)
 from .core import (
     ExecutionPlan,
     KernelizeConfig,
@@ -47,11 +65,19 @@ from .core import (
     partition,
 )
 from .planner import PassManager, available_presets, build_plan, register_preset
-from .runtime import TimingBreakdown, compile_plan, execute_plan, model_simulation_time
+from .runtime import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    TimingBreakdown,
+    compile_plan,
+    execute_plan,
+    model_simulation_time,
+)
 from .session import Job, Result, Session
 from .sim import CompiledProgram, StateVector, simulate_reference
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Circuit",
@@ -80,6 +106,23 @@ __all__ = [
     "build_plan",
     "available_presets",
     "register_preset",
+    # Robustness: error taxonomy, retry/deadline, fault injection.
+    "ReproError",
+    "TransientError",
+    "PermanentError",
+    "ShardIOError",
+    "KernelError",
+    "PlanValidationError",
+    "StateValidationError",
+    "AdmissionError",
+    "DeadlineExceeded",
+    "CacheCorruptionError",
+    "SessionClosedError",
+    "RetryPolicy",
+    "Deadline",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
     "SimulationResult",
     "simulate",
     "__version__",

@@ -2,12 +2,16 @@
 
 from .compile import clear_program_cache, compile_plan, compiled_program_for
 from .executor import ExecutionTrace, execute_plan, trace_for_program
+from .faults import FaultInjector, FaultPlan, FaultSpec
 from .offload import OffloadStats, WorkerStats, execute_plan_offloaded
 from .parallel import ParallelRuntime, execute_plan_parallel
 from .sharding import QubitLayout, permutation_axes, permute_state, shard_slices
 from .timeline import TimingBreakdown, model_simulation_time
 
 __all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "clear_program_cache",
     "compile_plan",
     "compiled_program_for",

@@ -32,6 +32,7 @@ from ..circuits.gates import Gate
 from ..cluster.machine import MachineConfig
 from ..core.kernel import KernelType
 from ..core.plan import ExecutionPlan
+from ..errors import PlanValidationError
 from ..sim.fusion import fused_unitary_cached
 from ..sim.program import (
     CompiledOp,
@@ -40,6 +41,7 @@ from ..sim.program import (
     compile_layout_op,
     compile_unitary_op,
 )
+from . import faults
 from .sharding import QubitLayout, permutation_axes
 
 __all__ = [
@@ -56,7 +58,7 @@ def check_gate_locality(
     """Raise when a non-insular qubit of *gate* is mapped non-locally."""
     for q in gate.non_insular_qubits():
         if logical_to_physical[q] >= local_qubits:
-            raise ValueError(
+            raise PlanValidationError(
                 f"staging invariant violated: non-insular qubit {q} of gate "
                 f"{gate} is mapped to non-local physical position "
                 f"{logical_to_physical[q]} (L={local_qubits})"
@@ -91,13 +93,14 @@ def compile_plan(
         Buffer set for the program; defaults to the reuse program's (so a
         rebound family shares one ping-pong pair) or a fresh one.
     """
+    faults.check("compile")
     n = plan.num_qubits
     if workspace is None:
         workspace = reuse.workspace if reuse is not None else Workspace()
     reuse_map: dict[object, CompiledOp] = {}
     if reuse is not None:
         if reuse.num_qubits != n:
-            raise ValueError("reuse program spans a different qubit count")
+            raise PlanValidationError("reuse program spans a different qubit count")
         for op in reuse.ops:
             if op.source is not None:
                 reuse_map[op.source] = op

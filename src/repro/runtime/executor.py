@@ -35,6 +35,7 @@ from ..circuits.gates import Gate
 from ..cluster.machine import MachineConfig
 from ..core.kernel import Kernel, KernelType
 from ..core.plan import ExecutionPlan
+from ..errors import KernelError, PlanValidationError, TransientError
 from ..sim.apply import apply_gate_buffered, tracked_empty
 from ..sim.fusion import fused_unitary_cached
 from ..sim.program import CompiledProgram, thread_workspace
@@ -83,7 +84,7 @@ def _apply_kernel(
 def _check_locality(gate: Gate, logical_to_physical: dict[int, int], local_qubits: int) -> None:
     for q in gate.non_insular_qubits():
         if logical_to_physical[q] >= local_qubits:
-            raise ValueError(
+            raise PlanValidationError(
                 f"staging invariant violated: non-insular qubit {q} of gate "
                 f"{gate} is mapped to non-local physical position "
                 f"{logical_to_physical[q]} (L={local_qubits})"
@@ -131,12 +132,19 @@ def execute_plan(
         both produce bit-identical states.
     """
     if compiled:
-        program = compiled_program_for(plan, machine, check_locality)
-        # Per-thread workspace: concurrent execute_plan calls on one plan
-        # share the memoized op stream but never a buffer, keeping this
-        # entry point as thread-safe as the interpreter below.
-        state = program.run(initial_state, workspace=thread_workspace())
-        return state, trace_for_program(program)
+        # A failed lowering (KernelError, or a transient injected at the
+        # "compile" site) degrades to the bit-exact interpreter below; plan
+        # validation failures are the plan's fault and propagate.
+        try:
+            program = compiled_program_for(plan, machine, check_locality)
+        except (KernelError, TransientError):
+            pass
+        else:
+            # Per-thread workspace: concurrent execute_plan calls on one plan
+            # share the memoized op stream but never a buffer, keeping this
+            # entry point as thread-safe as the interpreter below.
+            state = program.run(initial_state, workspace=thread_workspace())
+            return state, trace_for_program(program)
 
     n = plan.num_qubits
     state = tracked_empty(1 << n)
@@ -145,7 +153,7 @@ def execute_plan(
         state[0] = 1.0
     else:
         if initial_state.num_qubits != n:
-            raise ValueError("initial state size does not match plan")
+            raise PlanValidationError("initial state size does not match plan")
         initial_state.copy_into(state)
     # The whole execution ping-pongs between these two buffers: every gate,
     # kernel and layout permutation writes into one of them.  The engine

@@ -44,10 +44,19 @@ from ..circuits.gates import Gate
 from ..cluster.machine import MachineConfig
 from ..core.kernel import KernelType
 from ..core.plan import ExecutionPlan
+from ..errors import (
+    DEFAULT_RETRY_POLICY,
+    Deadline,
+    PlanValidationError,
+    ReproError,
+    RetryPolicy,
+    TransientError,
+)
 from ..sim.apply import apply_gate_buffered, tracked_empty
 from ..sim.fusion import fused_unitary_cached
 from ..sim.program import compile_unitary_op, thread_workspace
 from ..sim.statevector import StateVector
+from . import faults
 from .sharding import QubitLayout, permute_state, shard_slices
 
 __all__ = [
@@ -77,6 +86,8 @@ class WorkerStats:
     load_seconds: float = 0.0
     store_seconds: float = 0.0
     compute_seconds: float = 0.0
+    #: Transient shard failures this worker retried (load/compute/store).
+    retries: int = 0
 
 
 @dataclass
@@ -93,6 +104,13 @@ class OffloadStats:
     num_workers: int = 1
     #: Per-worker accounting; empty for the sequential executor.
     per_worker: list[WorkerStats] = field(default_factory=list)
+    #: Transient shard failures that were retried (summed over workers).
+    retries: int = 0
+    #: Workers quarantined during this execution after exhausting retries.
+    quarantined_workers: int = 0
+    #: Segments degraded to the uncompiled per-gate path after a compile
+    #: failure.
+    fallbacks: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -234,7 +252,7 @@ def _gate_on_shard(
             fixed.append((q, bit, 1 - bit))
             out_index ^= 1 << (p - local_qubits)
         else:
-            raise ValueError(
+            raise PlanValidationError(
                 f"gate {gate} mixes amplitudes along non-local qubit {q}; "
                 f"it must be executed on the full state"
             )
@@ -245,7 +263,7 @@ def _gate_on_shard(
         return shard, scratch, out_index
     reduced_physical = [logical_to_physical[q] for q in reduced_qubits]
     if any(p >= local_qubits for p in reduced_physical):
-        raise ValueError(
+        raise PlanValidationError(
             f"gate {gate} has a non-insular qubit mapped to a non-local position"
         )
     data, scratch = apply_gate_buffered(shard, scratch, matrix, reduced_physical)
@@ -283,7 +301,7 @@ def _project_insular(
     block = matrix[np.ix_(rows_out, rows_in)]
     other = [i for i in range(dim) if ((i >> pos) & 1) != bit_out]
     if other and np.max(np.abs(matrix[np.ix_(other, rows_in)])) > 1e-12:
-        raise ValueError(
+        raise PlanValidationError(
             f"gate matrix mixes amplitudes along qubit {qubit}; it cannot be "
             f"resolved per shard"
         )
@@ -446,6 +464,7 @@ def compile_segment_ops(
     ``("local", op)`` / ``("dynamic", gate)`` entries for
     :func:`run_segment_ops`.
     """
+    faults.check("compile")
     ops: list[tuple[str, object]] = []
     for gates, ktype in groups:
         if group_uses_fusion(gates, ktype, logical_to_physical, local_qubits):
@@ -488,6 +507,7 @@ def run_segment_ops(
     """
     if workspace is None:
         workspace = thread_workspace()
+    faults.check("kernel_apply", shard=shard_index)
     index = shard_index
     for kind, payload in ops:
         if kind == "local":
@@ -513,6 +533,7 @@ def run_groups_on_shard(
     differ from the input when anti-diagonal non-local axes relabelled the
     shard; the caller stores the shard at the returned index.
     """
+    faults.check("kernel_apply", shard=shard_index)
     index = shard_index
     for gates, ktype in groups:
         if group_uses_fusion(gates, ktype, logical_to_physical, local_qubits):
@@ -536,6 +557,8 @@ def execute_plan_offloaded(
     plan: ExecutionPlan,
     machine: MachineConfig,
     initial_state: StateVector | None = None,
+    deadline: "Deadline | float | None" = None,
+    retry: RetryPolicy | None = None,
 ) -> tuple[StateVector, OffloadStats]:
     """Execute *plan* shard by shard, as the DRAM-offloading runtime would.
 
@@ -544,16 +567,25 @@ def execute_plan_offloaded(
     stage to one shard before touching the next.  This is the reference
     one-worker scheduler; :class:`repro.runtime.parallel.ParallelRuntime`
     maps the same shard passes onto multiple workers.
+
+    Fault tolerance: transient shard failures (load, kernel, store) are
+    retried from the DRAM copy under *retry* (bounded exponential backoff;
+    bit-exact, since a shard's DRAM slice is only written once its
+    computation finished), a failed segment-op compile degrades to the
+    uncompiled per-gate path, and *deadline* is checked cooperatively at
+    stage/segment/shard boundaries (:class:`repro.errors.DeadlineExceeded`).
     """
     n = plan.num_qubits
     machine.validate(n)
+    deadline = Deadline.resolve(deadline)
+    policy = retry if retry is not None else DEFAULT_RETRY_POLICY
     state = tracked_empty(1 << n)
     if initial_state is None:
         state[:] = 0.0
         state[0] = 1.0
     else:
         if initial_state.num_qubits != n:
-            raise ValueError("initial state size does not match plan")
+            raise PlanValidationError("initial state size does not match plan")
         initial_state.copy_into(state)
     # DRAM-side scratch for layout permutations, cross-shard gates and
     # relabelled shard stores, plus a GPU-side buffer pair the shard
@@ -568,6 +600,7 @@ def execute_plan_offloaded(
     shard_scratch = tracked_empty(1 << local)
 
     for stage in plan.stages:
+        deadline.check("stage")
         target = stage.partition.logical_to_physical()
         if target != layout.logical_to_physical():
             permuted = permute_state(state, layout, target, out=state_scratch)
@@ -580,6 +613,7 @@ def execute_plan_offloaded(
 
         stage_loads = 0
         for kind, payload in segments:
+            deadline.check("segment")
             if kind == "full":
                 gate = payload
                 physical = [logical_to_physical[q] for q in gate.qubits]
@@ -590,8 +624,13 @@ def execute_plan_offloaded(
             relabels = segment_relabels_shards(payload, logical_to_physical, local)
             # Lower the segment's local work once; every shard replays the
             # compiled op stream (fusion/analysis/planning amortised over
-            # the whole shard sweep instead of paid per shard).
-            segment_ops = compile_segment_ops(payload, logical_to_physical, local)
+            # the whole shard sweep instead of paid per shard).  A compile
+            # failure degrades to the uncompiled per-gate path.
+            try:
+                segment_ops = compile_segment_ops(payload, logical_to_physical, local)
+            except ReproError:
+                segment_ops = None
+                stats.fallbacks += 1
             shards = shard_slices(state, local)
             # Relabelled shards land at new indices, so they are stored into
             # the second DRAM array (every index is written exactly once —
@@ -599,21 +638,42 @@ def execute_plan_offloaded(
             # pass.  Without relabels shards are updated in place.
             out_shards = shard_slices(state_scratch, local) if relabels else shards
             for shard_index, shard in enumerate(shards):
-                np.copyto(shard_buf, shard)
-                data, scratch = shard_buf, shard_scratch
-                stage_loads += 1
-                stats.shard_loads += 1
-                stats.bytes_transferred += data.nbytes
+                # Transient failures retry from the DRAM shard, which is
+                # untouched until the store below succeeds.
+                attempt = 1
+                while True:
+                    try:
+                        deadline.check("shard")
+                        faults.check("shard_load", shard=shard_index)
+                        np.copyto(shard_buf, shard)
+                        data, scratch = shard_buf, shard_scratch
+                        stage_loads += 1
+                        stats.shard_loads += 1
+                        stats.bytes_transferred += data.nbytes
 
-                data, scratch, out_index = run_segment_ops(
-                    data, scratch, segment_ops, logical_to_physical, local,
-                    shard_index,
-                )
+                        if segment_ops is not None:
+                            data, scratch, out_index = run_segment_ops(
+                                data, scratch, segment_ops, logical_to_physical,
+                                local, shard_index,
+                            )
+                        else:
+                            data, scratch, out_index = run_groups_on_shard(
+                                data, scratch, payload, logical_to_physical,
+                                local, shard_index,
+                            )
 
-                out_shards[out_index][:] = data
-                shard_buf, shard_scratch = data, scratch
-                stats.shard_stores += 1
-                stats.bytes_transferred += data.nbytes
+                        faults.check("shard_store", shard=shard_index)
+                        out_shards[out_index][:] = data
+                        shard_buf, shard_scratch = data, scratch
+                        stats.shard_stores += 1
+                        stats.bytes_transferred += data.nbytes
+                        break
+                    except TransientError:
+                        stats.retries += 1
+                        if attempt >= policy.max_attempts:
+                            raise
+                        policy.sleep(attempt)
+                        attempt += 1
             if relabels:
                 state, state_scratch = state_scratch, state
         stats.per_stage_loads.append(stage_loads)

@@ -53,13 +53,24 @@ import numpy as np
 
 from ..cluster.machine import MachineConfig
 from ..core.plan import ExecutionPlan
+from ..errors import (
+    DEFAULT_RETRY_POLICY,
+    Deadline,
+    PlanValidationError,
+    ReproError,
+    RetryPolicy,
+    SessionClosedError,
+    TransientError,
+)
 from ..sim.apply import apply_gate_buffered, tracked_empty
 from ..sim.statevector import StateVector
+from . import faults
 from .offload import (
     OffloadStats,
     WorkerStats,
     compile_segment_ops,
     materialize_stage_segments,
+    run_groups_on_shard,
     run_segment_ops,
     segment_relabels_shards,
     split_stage_segment_shapes,
@@ -70,6 +81,21 @@ __all__ = ["ParallelRuntime", "execute_plan_parallel"]
 
 #: How many plans' stage segmentations a runtime memoizes for run_batch.
 _SEGMENT_CACHE_PLANS = 8
+
+
+class _WorkerFailed(Exception):
+    """Internal: a worker exhausted its transient-retry budget.
+
+    Carries the underlying :class:`~repro.errors.TransientError` and the
+    shard indices the worker had *not* completed (current one included) so
+    the scheduler can quarantine the worker and redistribute exactly that
+    remainder.  Never escapes :meth:`ParallelRuntime.execute`.
+    """
+
+    def __init__(self, cause: TransientError, remaining: Sequence[int]):
+        super().__init__(str(cause))
+        self.cause = cause
+        self.remaining = list(remaining)
 
 
 class ParallelRuntime:
@@ -85,19 +111,39 @@ class ParallelRuntime:
     num_workers:
         Override the worker count (the differential tests sweep it).  It
         is still clamped to the shard count of each executed plan.
+    retry:
+        :class:`~repro.errors.RetryPolicy` for transient shard failures
+        (default: the shared bounded-exponential-backoff policy).
 
     Use as a context manager (or call :meth:`close`) to release the worker
     threads; a runtime is cheap to keep alive across many :meth:`execute`
     / :meth:`run_batch` calls and that is the intended usage.
+
+    **Supervision** (see ``docs/robustness.md``): a shard whose load,
+    kernel stream or store raises a :class:`~repro.errors.TransientError`
+    is retried from its DRAM copy with bounded exponential backoff; a
+    worker that exhausts the budget is *quarantined* for the rest of the
+    run and its unfinished shards are redistributed across the surviving
+    workers (bit-exact — shards are independent within a segment).
+    Permanent failures — in workers *or* the loader/prefetch thread —
+    propagate promptly on the calling thread after every in-flight worker
+    has drained (no hung barriers, no buffer left shared), and cooperative
+    ``deadline`` checks run at stage/segment/shard boundaries.
     """
 
-    def __init__(self, machine: MachineConfig, num_workers: int | None = None):
+    def __init__(
+        self,
+        machine: MachineConfig,
+        num_workers: int | None = None,
+        retry: RetryPolicy | None = None,
+    ):
         if num_workers is None:
             num_workers = min(machine.num_shards, machine.physical_gpus)
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
         self.machine = machine
         self.num_workers = num_workers
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
         self._compute_pool: ThreadPoolExecutor | None = None
         self._loader_pool: ThreadPoolExecutor | None = None
         self._tls = threading.local()
@@ -112,6 +158,11 @@ class ParallelRuntime:
         #: Schedule-cache accounting, surfaced through Session stats.
         self.schedule_cache_hits = 0
         self.schedule_cache_misses = 0
+        #: Cumulative recovery accounting across executions, surfaced
+        #: through Session stats.
+        self.retries = 0
+        self.quarantined_workers = 0
+        self.fallbacks = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -125,7 +176,7 @@ class ParallelRuntime:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker pools and drop cached buffers."""
+        """Shut down the worker pools and drop cached buffers (idempotent)."""
         if self._compute_pool is not None:
             self._compute_pool.shutdown(wait=True)
             self._compute_pool = None
@@ -136,9 +187,17 @@ class ParallelRuntime:
         self._segment_cache.clear()
         self._closed = True
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pools_shut_down(self) -> bool:
+        """True when no worker/loader pool is live (the thread-leak check)."""
+        return self._compute_pool is None and self._loader_pool is None
+
     def _ensure_pools(self) -> None:
         if self._closed:
-            raise RuntimeError("ParallelRuntime is closed")
+            raise SessionClosedError("ParallelRuntime is closed")
         if self._compute_pool is None:
             self._compute_pool = ThreadPoolExecutor(
                 max_workers=self.num_workers,
@@ -233,9 +292,15 @@ class ParallelRuntime:
                 if kind == "full":
                     segments.append(("full", payload, None))
                 else:
-                    segments.append(
-                        ("shards", payload, compile_segment_ops(payload, l2p, local))
-                    )
+                    # A failed segment-op compile degrades that segment to
+                    # the uncompiled per-gate path (ops=None) instead of
+                    # failing the run; workers branch on it.
+                    try:
+                        ops = compile_segment_ops(payload, l2p, local)
+                    except ReproError:
+                        ops = None
+                        self.fallbacks += 1
+                    segments.append(("shards", payload, ops))
             schedule.append((target, l2p, segments))
         if key not in self._segment_cache:
             if len(self._segment_cache) >= _SEGMENT_CACHE_PLANS:
@@ -249,51 +314,112 @@ class ParallelRuntime:
 
     def _run_worker(
         self,
+        worker: int,
         indices: list[int],
         shards: list[np.ndarray],
         out_shards: list[np.ndarray],
-        segment_ops: list,
+        segment_ops: list | None,
+        groups: list,
         logical_to_physical: dict[int, int],
         local_qubits: int,
         stats: WorkerStats,
+        deadline: Deadline,
     ) -> None:
         """Process this worker's shard indices for one shards-segment.
 
         Loads pipeline through the loader pool: while shard ``i`` computes
         in one buffer pair, shard ``i+1`` streams into the other.  The
-        segment arrives pre-compiled (``segment_ops``); temporaries come
-        from this worker thread's private workspace.
+        segment arrives pre-compiled (``segment_ops``; ``None`` after a
+        compile fallback, which replays *groups* per gate); temporaries
+        come from this worker thread's private workspace.
+
+        Transient failures — whether raised here or inside a prefetch on
+        the loader thread — retry the current shard from its DRAM copy
+        (untouched until the store succeeds, so retries are bit-exact)
+        under the runtime's :class:`RetryPolicy`; an exhausted budget
+        raises :class:`_WorkerFailed` carrying the unfinished indices so
+        the scheduler can quarantine this worker and redistribute them.
+        Before any exception escapes, outstanding prefetch futures are
+        drained: a redistributed shard must never race a stale load into
+        this thread's buffers.
         """
+        try:
+            faults.check("worker_start", worker=worker)
+        except TransientError as exc:
+            raise _WorkerFailed(exc, indices) from exc
         pairs = self._worker_pairs(local_qubits)
 
         def load(slot: int, shard_index: int) -> float:
             start = time.perf_counter()
+            faults.check("shard_load", worker=worker, shard=shard_index)
             np.copyto(pairs[slot][0], shards[shard_index])
             return time.perf_counter() - start
 
         assert self._loader_pool is not None
-        pending: Future = self._loader_pool.submit(load, 0, indices[0])
-        for i, index in enumerate(indices):
-            slot = i & 1
-            stats.load_seconds += pending.result()
-            if i + 1 < len(indices):
-                pending = self._loader_pool.submit(load, 1 - slot, indices[i + 1])
-            data, scratch = pairs[slot]
-            stats.shard_loads += 1
-            stats.bytes_loaded += data.nbytes
+        prefetch: dict[int, Future] = {0: self._loader_pool.submit(load, 0, indices[0])}
+        policy = self.retry
+        try:
+            for i, index in enumerate(indices):
+                slot = i & 1
+                fut = prefetch.pop(i, None)
+                attempt = 1
+                while True:
+                    try:
+                        deadline.check("shard")
+                        if fut is not None:
+                            stats.load_seconds += fut.result()
+                            fut = None
+                        else:
+                            # Retry (or resubmitted) path: load synchronously.
+                            stats.load_seconds += load(slot, index)
+                        if i + 1 < len(indices) and (i + 1) not in prefetch:
+                            prefetch[i + 1] = self._loader_pool.submit(
+                                load, 1 - slot, indices[i + 1]
+                            )
+                        data, scratch = pairs[slot]
+                        stats.shard_loads += 1
+                        stats.bytes_loaded += data.nbytes
 
-            start = time.perf_counter()
-            data, scratch, out_index = run_segment_ops(
-                data, scratch, segment_ops, logical_to_physical, local_qubits, index
-            )
-            stats.compute_seconds += time.perf_counter() - start
+                        start = time.perf_counter()
+                        if segment_ops is not None:
+                            data, scratch, out_index = run_segment_ops(
+                                data, scratch, segment_ops, logical_to_physical,
+                                local_qubits, index,
+                            )
+                        else:
+                            data, scratch, out_index = run_groups_on_shard(
+                                data, scratch, groups, logical_to_physical,
+                                local_qubits, index,
+                            )
+                        stats.compute_seconds += time.perf_counter() - start
 
-            start = time.perf_counter()
-            out_shards[out_index][:] = data
-            stats.store_seconds += time.perf_counter() - start
-            stats.shard_stores += 1
-            stats.bytes_stored += data.nbytes
-            pairs[slot][0], pairs[slot][1] = data, scratch
+                        start = time.perf_counter()
+                        faults.check("shard_store", worker=worker, shard=index)
+                        out_shards[out_index][:] = data
+                        stats.store_seconds += time.perf_counter() - start
+                        stats.shard_stores += 1
+                        stats.bytes_stored += data.nbytes
+                        pairs[slot][0], pairs[slot][1] = data, scratch
+                        break
+                    except TransientError as exc:
+                        fut = None
+                        stats.retries += 1
+                        if attempt >= policy.max_attempts:
+                            raise _WorkerFailed(exc, indices[i:]) from exc
+                        policy.sleep(attempt)
+                        attempt += 1
+        except BaseException:
+            # Drain in-flight prefetches before the failure escapes: the
+            # scheduler may re-run these shards on a pool thread sharing
+            # this thread-local buffer set.
+            for fut in prefetch.values():
+                fut.cancel()
+            for fut in prefetch.values():
+                try:
+                    fut.result()
+                except BaseException:
+                    pass
+            raise
 
     # ------------------------------------------------------------------
     # Execution
@@ -304,22 +430,32 @@ class ParallelRuntime:
         plan: ExecutionPlan,
         initial_state: StateVector | None = None,
         schedule_key: str | None = None,
+        deadline: "Deadline | float | None" = None,
     ) -> tuple[StateVector, OffloadStats]:
         """Execute *plan*, scheduling each stage's shards across workers.
 
         Bit-exact with :func:`repro.runtime.offload.execute_plan_offloaded`
         for any worker count: every shard sees the identical kernel
         sequence on private buffers, and segment barriers impose the same
-        cross-segment ordering.
+        cross-segment ordering.  That equivalence survives recovery:
+        retried shards recompute from their unmodified DRAM slice and
+        redistributed shards run the identical kernel sequence on another
+        worker's private buffers.
 
         ``schedule_key`` (optional) names the plan's *structure*: plans that
         share it (structurally identical circuits planned under one Session
         cache key) reuse one cached segmentation shape instead of
         re-classifying every gate (see :meth:`_plan_schedule`).
+
+        ``deadline`` (optional, seconds or a :class:`~repro.errors.Deadline`)
+        is checked cooperatively at stage/segment/shard boundaries; an
+        expired deadline raises :class:`~repro.errors.DeadlineExceeded`
+        with every worker drained and the runtime reusable.
         """
         machine = self.machine
         n = plan.num_qubits
         machine.validate(n)
+        deadline = Deadline.resolve(deadline)
         self._ensure_pools()
 
         # The result array is the only per-execution state-sized
@@ -335,7 +471,7 @@ class ParallelRuntime:
             state[0] = 1.0
         else:
             if initial_state.num_qubits != n:
-                raise ValueError("initial state size does not match plan")
+                raise PlanValidationError("initial state size does not match plan")
             initial_state.copy_into(state)
 
         local = machine.local_qubits
@@ -343,77 +479,178 @@ class ParallelRuntime:
         width = min(self.num_workers, num_shards)
         stats = OffloadStats(num_shards=num_shards, num_workers=width)
         stats.per_worker = [WorkerStats(worker=w) for w in range(width)]
+        #: Workers quarantined for the remainder of *this* execution.
+        quarantined: set[int] = set()
 
-        layout = QubitLayout(n)
-        for target, logical_to_physical, segments in self._plan_schedule(
-            plan, schedule_key
-        ):
-            if target != layout.logical_to_physical():
-                permuted = permute_state(state, layout, target, out=state_scratch)
-                if permuted is not state:
-                    state, state_scratch = permuted, state
-                layout.update(target)
+        try:
+            layout = QubitLayout(n)
+            for target, logical_to_physical, segments in self._plan_schedule(
+                plan, schedule_key
+            ):
+                deadline.check("stage")
+                if target != layout.logical_to_physical():
+                    permuted = permute_state(state, layout, target, out=state_scratch)
+                    if permuted is not state:
+                        state, state_scratch = permuted, state
+                    layout.update(target)
 
-            stage_loads = 0
-            for kind, payload, segment_ops in segments:
-                if kind == "full":
-                    gate = payload
-                    physical = [logical_to_physical[q] for q in gate.qubits]
-                    state, state_scratch = apply_gate_buffered(
-                        state, state_scratch, gate.matrix(), physical
+                stage_loads = 0
+                for kind, payload, segment_ops in segments:
+                    deadline.check("segment")
+                    if kind == "full":
+                        gate = payload
+                        physical = [logical_to_physical[q] for q in gate.qubits]
+                        state, state_scratch = apply_gate_buffered(
+                            state, state_scratch, gate.matrix(), physical
+                        )
+                        continue
+                    relabels = segment_relabels_shards(
+                        payload, logical_to_physical, local
                     )
-                    continue
-                relabels = segment_relabels_shards(
-                    payload, logical_to_physical, local
-                )
-                shards = shard_slices(state, local)
-                out_shards = (
-                    shard_slices(state_scratch, local) if relabels else shards
-                )
-                futures = [
-                    self._compute_pool.submit(
-                        self._run_worker,
-                        list(range(w, num_shards, width)),
+                    shards = shard_slices(state, local)
+                    out_shards = (
+                        shard_slices(state_scratch, local) if relabels else shards
+                    )
+                    self._run_segment_supervised(
+                        width,
+                        num_shards,
+                        quarantined,
                         shards,
                         out_shards,
                         segment_ops,
+                        payload,
                         logical_to_physical,
                         local,
-                        stats.per_worker[w],
+                        stats,
+                        deadline,
                     )
-                    for w in range(width)
-                ]
-                # Barrier: the next segment (or stage transition) may read
-                # every shard, so all workers must have stored theirs.
-                for future in futures:
-                    future.result()
-                stage_loads += num_shards
-                if relabels:
-                    state, state_scratch = state_scratch, state
-            stats.per_stage_loads.append(stage_loads)
-            stats.num_stages += 1
+                    stage_loads += num_shards
+                    if relabels:
+                        state, state_scratch = state_scratch, state
+                stats.per_stage_loads.append(stage_loads)
+                stats.num_stages += 1
 
-        identity = {q: q for q in range(n)}
-        if layout.logical_to_physical() != identity:
-            permuted = permute_state(state, layout, identity, out=state_scratch)
-            if permuted is not state:
-                state, state_scratch = permuted, state
-
-        for worker in stats.per_worker:
-            stats.shard_loads += worker.shard_loads
-            stats.shard_stores += worker.shard_stores
-            stats.bytes_transferred += worker.bytes_loaded + worker.bytes_stored
+            identity = {q: q for q in range(n)}
+            if layout.logical_to_physical() != identity:
+                permuted = permute_state(state, layout, identity, out=state_scratch)
+                if permuted is not state:
+                    state, state_scratch = permuted, state
+        finally:
+            for worker in stats.per_worker:
+                stats.shard_loads += worker.shard_loads
+                stats.shard_stores += worker.shard_stores
+                stats.bytes_transferred += worker.bytes_loaded + worker.bytes_stored
+                stats.retries += worker.retries
+            self.retries += stats.retries
 
         if state is cached:
             # The caller gets the cached array; keep the fresh one instead.
             self._dram_scratch[n] = fresh
         return StateVector(n, state), stats
 
+    def _run_segment_supervised(
+        self,
+        width: int,
+        num_shards: int,
+        quarantined: set[int],
+        shards: list[np.ndarray],
+        out_shards: list[np.ndarray],
+        segment_ops: list | None,
+        groups: list,
+        logical_to_physical: dict[int, int],
+        local: int,
+        stats: OffloadStats,
+        deadline: Deadline,
+    ) -> None:
+        """Dispatch one shards-segment across the non-quarantined workers.
+
+        The barrier is failure-safe: **every** submitted future is awaited
+        before any exception propagates, so no worker is still touching a
+        shard buffer when the caller sees the error.  Workers that exhaust
+        their transient-retry budget are quarantined and their unfinished
+        shards redistributed round-robin across the survivors; the segment
+        only completes once every shard index has been stored exactly once.
+        When the last worker is quarantined the underlying transient error
+        escalates to the caller.
+        """
+        active = [w for w in range(width) if w not in quarantined]
+        if not active:
+            # Every worker was quarantined by an earlier segment; execute()
+            # can only get here if that segment still completed, which
+            # cannot happen — quarantining the last worker escalates below.
+            raise RuntimeError("no workers left to schedule")  # pragma: no cover
+        assignments = {
+            w: list(range(j, num_shards, len(active)))
+            for j, w in enumerate(active)
+        }
+        if len(active) == width:
+            # Fault-free fast path keeps the documented ownership rule:
+            # worker w owns shard indices w, w+W, w+2W, ...
+            assignments = {
+                w: list(range(w, num_shards, width)) for w in range(width)
+            }
+        while True:
+            futures = {
+                w: self._compute_pool.submit(
+                    self._run_worker,
+                    w,
+                    indices,
+                    shards,
+                    out_shards,
+                    segment_ops,
+                    groups,
+                    logical_to_physical,
+                    local,
+                    stats.per_worker[w],
+                    deadline,
+                )
+                for w, indices in assignments.items()
+                if indices
+            }
+            if not futures:
+                return
+            failed: dict[int, _WorkerFailed] = {}
+            fatal: BaseException | None = None
+            # Failure-safe barrier: await every future, collect outcomes.
+            for w, future in futures.items():
+                try:
+                    future.result()
+                except _WorkerFailed as exc:
+                    failed[w] = exc
+                except BaseException as exc:
+                    if fatal is None:
+                        fatal = exc
+            if fatal is not None:
+                # Permanent (or unexpected) failure: propagate promptly —
+                # all workers have drained, buffers are quiescent.
+                raise fatal
+            if not failed:
+                return
+            # Transient exhaustion: quarantine the failed workers and
+            # redistribute exactly their unfinished shards.
+            leftover: list[int] = []
+            last_cause: TransientError | None = None
+            for w, exc in failed.items():
+                quarantined.add(w)
+                stats.quarantined_workers += 1
+                self.quarantined_workers += 1
+                leftover.extend(exc.remaining)
+                last_cause = exc.cause
+            leftover.sort()
+            active = [w for w in range(width) if w not in quarantined]
+            if not active:
+                assert last_cause is not None
+                raise last_cause
+            assignments = {
+                w: leftover[j :: len(active)] for j, w in enumerate(active)
+            }
+
     def run_batch(
         self,
         plans: ExecutionPlan | Iterable,
         initial_states: Sequence[StateVector | None] | None = None,
         schedule_keys: str | Sequence[str | None] | None = None,
+        deadline: "Deadline | float | None" = None,
     ) -> list[tuple[StateVector, OffloadStats]]:
         """Execute a batch of problems, amortising planning and buffers.
 
@@ -428,7 +665,9 @@ class ParallelRuntime:
         ``schedule_keys`` is either one structure key shared by every item
         (a parameter sweep of structurally identical plans) or one key per
         item (see :meth:`execute`); ``None`` entries fall back to per-plan
-        identity caching.
+        identity caching.  ``deadline`` bounds the *whole batch*: one
+        budget shared by every item, checked at every stage/segment/shard
+        boundary of each execution.
 
         Returns one ``(final_state, stats)`` per problem, in order.  The
         problems run back to back — shards are the parallel dimension, so
@@ -465,8 +704,9 @@ class ParallelRuntime:
                 raise ValueError(
                     f"{len(keys)} schedule keys but {len(items)} batch items"
                 )
+        deadline = Deadline.resolve(deadline)
         return [
-            self.execute(plan, state, schedule_key=key)
+            self.execute(plan, state, schedule_key=key, deadline=deadline)
             for (plan, state), key in zip(items, keys)
         ]
 

@@ -19,7 +19,7 @@ from .backends import (
     register_backend,
     select_auto_backend,
 )
-from .cache import CacheStats, PlanCache, plan_cache_key, rebind_plan
+from .cache import CacheStats, PlanCache, plan_cache_key, plan_fingerprint, rebind_plan
 from .result import Job, Result, normalize_observable
 from .session import Session, SessionStats
 
@@ -32,6 +32,7 @@ __all__ = [
     "PlanCache",
     "CacheStats",
     "plan_cache_key",
+    "plan_fingerprint",
     "rebind_plan",
     "ExecutionBackend",
     "ReferenceBackend",

@@ -40,6 +40,14 @@ from ..circuits.circuit import Circuit
 from ..cluster.costmodel import CostModel
 from ..cluster.machine import MachineConfig
 from ..core.plan import ExecutionPlan
+from ..errors import (
+    Deadline,
+    KernelError,
+    PlanValidationError,
+    RetryPolicy,
+    TransientError,
+)
+from ..runtime import faults
 from ..runtime.executor import execute_plan, trace_for_program
 from ..runtime.offload import execute_plan_offloaded
 from ..runtime.parallel import ParallelRuntime
@@ -89,6 +97,7 @@ class ExecutionBackend:
         circuit: Circuit | None = None,
         schedule_key: str | None = None,
         program=None,
+        deadline: Deadline | None = None,
     ) -> tuple[StateVector, object]:
         """Execute *plan* and return ``(final_state, execution_stats)``.
 
@@ -96,7 +105,8 @@ class ExecutionBackend:
         replay the staged plan, e.g. the reference oracle); ``schedule_key``
         names the plan structure for backends that cache per-structure
         schedules (see :meth:`ParallelRuntime.execute`); ``program`` is the
-        plan's compiled op stream for backends with ``uses_programs``.
+        plan's compiled op stream for backends with ``uses_programs``;
+        ``deadline`` is the job's cooperative cancellation budget.
         """
         raise NotImplementedError
 
@@ -106,25 +116,44 @@ class ExecutionBackend:
         machine: MachineConfig,
         schedule_keys: Sequence[str | None] | None = None,
         programs: Sequence | None = None,
+        deadline: Deadline | None = None,
     ) -> list[tuple[StateVector, object]]:
         """Execute many ``(plan, initial_state, circuit)`` problems in order.
 
         The default runs them back to back through :meth:`run_plan`;
         backends with shared runtime state (worker pools, buffers,
         segmentation caches, compiled programs) override this to amortise
-        it.  ``program=`` is only forwarded when present, so third-party
-        backends with the pre-program :meth:`run_plan` signature keep
+        it.  ``program=`` / ``deadline=`` are only forwarded when present,
+        so third-party backends with older :meth:`run_plan` signatures keep
         working.
         """
         keys = schedule_keys if schedule_keys is not None else [None] * len(items)
         progs = programs if programs is not None else [None] * len(items)
         out = []
         for (plan, state, circuit), key, program in zip(items, keys, progs):
+            if deadline is not None:
+                deadline.check("batch item")
             kwargs = dict(initial_state=state, circuit=circuit, schedule_key=key)
             if program is not None:
                 kwargs["program"] = program
+            if deadline is not None:
+                kwargs["deadline"] = deadline
             out.append(self.run_plan(plan, machine, **kwargs))
         return out
+
+    def recovery_counters(self) -> dict:
+        """Cumulative recovery accounting over this backend's lifetime.
+
+        Aggregated into ``SessionStats`` after every job; subclasses with
+        richer runtimes (the parallel backend's per-runtime counters)
+        override it.  Counters live as plain instance attributes so the
+        base class needs no ``__init__`` cooperation from subclasses.
+        """
+        return {
+            "retries": getattr(self, "retries", 0),
+            "fallbacks": getattr(self, "fallbacks", 0),
+            "quarantined_workers": getattr(self, "quarantined_workers", 0),
+        }
 
     def timing(
         self, plan: ExecutionPlan, machine: MachineConfig, cost_model: CostModel
@@ -170,13 +199,15 @@ class ReferenceBackend(ExecutionBackend):
 
     name = "reference"
 
-    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None):
+    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None, deadline=None):
+        if deadline is not None:
+            deadline.check("job")
         n = plan.num_qubits
         if initial_state is None:
             state = StateVector.zero_state(n)
         else:
             if initial_state.num_qubits != n:
-                raise ValueError("initial state size does not match plan")
+                raise PlanValidationError("initial state size does not match plan")
             state = initial_state.copy()
         gates = circuit.gates if circuit is not None else plan.all_gates()
         state.apply_circuit(gates)
@@ -197,17 +228,31 @@ class InCoreBackend(ExecutionBackend):
     name = "incore"
     uses_programs = True
 
-    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None):
-        if program is not None:
-            return program.run(initial_state), trace_for_program(program)
-        return execute_plan(plan, initial_state=initial_state, machine=machine)
+    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None, deadline=None):
+        if deadline is not None:
+            deadline.check("job")
+        try:
+            faults.check("kernel_apply")
+            if program is not None:
+                return program.run(initial_state), trace_for_program(program)
+            return execute_plan(plan, initial_state=initial_state, machine=machine)
+        except (KernelError, TransientError):
+            # Compiled-program failure → the bit-exact per-gate interpreter.
+            self.fallbacks = getattr(self, "fallbacks", 0) + 1
+            return execute_plan(
+                plan, initial_state=initial_state, machine=machine, compiled=False
+            )
 
-    def run_batch(self, items, machine, schedule_keys=None, programs=None):
+    def run_batch(self, items, machine, schedule_keys=None, programs=None, deadline=None):
         if programs is None:
-            return super().run_batch(items, machine, schedule_keys=schedule_keys)
+            return super().run_batch(
+                items, machine, schedule_keys=schedule_keys, deadline=deadline
+            )
         results: list[tuple[StateVector, object] | None] = [None] * len(items)
         index = 0
         while index < len(items):
+            if deadline is not None:
+                deadline.check("batch item")
             program = programs[index]
             span = index + 1
             while program is not None and span < len(items) and programs[span] is program:
@@ -215,13 +260,24 @@ class InCoreBackend(ExecutionBackend):
             if span - index > 1:
                 # One program, many initial states: a single (B, 2^n) pass.
                 states = [state for _plan, state, _circuit in items[index:span]]
-                for offset, final in enumerate(program.run_batched(states)):
-                    results[index + offset] = (final, trace_for_program(program))
+                try:
+                    faults.check("kernel_apply")
+                    for offset, final in enumerate(program.run_batched(states)):
+                        results[index + offset] = (final, trace_for_program(program))
+                except (KernelError, TransientError):
+                    # Degrade the whole stacked pass to per-item interpreter
+                    # runs; the batch stays bit-exact with the program path.
+                    self.fallbacks = getattr(self, "fallbacks", 0) + 1
+                    for offset, (plan, state, _circuit) in enumerate(items[index:span]):
+                        results[index + offset] = execute_plan(
+                            plan, initial_state=state, machine=machine,
+                            compiled=False,
+                        )
             else:
                 plan, state, circuit = items[index]
                 results[index] = self.run_plan(
                     plan, machine, initial_state=state, circuit=circuit,
-                    program=program,
+                    program=program, deadline=deadline,
                 )
             index = span
         return results
@@ -232,8 +288,17 @@ class OffloadBackend(ExecutionBackend):
 
     name = "offload"
 
-    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None):
-        return execute_plan_offloaded(plan, machine, initial_state=initial_state)
+    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None, deadline=None):
+        state, stats = execute_plan_offloaded(
+            plan,
+            machine,
+            initial_state=initial_state,
+            deadline=deadline,
+            retry=getattr(self, "retry", None),
+        )
+        self.retries = getattr(self, "retries", 0) + stats.retries
+        self.fallbacks = getattr(self, "fallbacks", 0) + stats.fallbacks
+        return state, stats
 
 
 class ParallelBackend(ExecutionBackend):
@@ -246,8 +311,9 @@ class ParallelBackend(ExecutionBackend):
 
     name = "parallel"
 
-    def __init__(self, num_workers: int | None = None):
+    def __init__(self, num_workers: int | None = None, retry: RetryPolicy | None = None):
         self.num_workers = num_workers
+        self.retry = retry
         self._runtimes: dict[object, ParallelRuntime] = {}
 
     def runtime_for(self, machine: MachineConfig) -> ParallelRuntime:
@@ -255,25 +321,39 @@ class ParallelBackend(ExecutionBackend):
         runtime = self._runtimes.get(key)
         if runtime is None:
             runtime = self._runtimes[key] = ParallelRuntime(
-                machine, num_workers=self.num_workers
+                machine,
+                num_workers=self.num_workers,
+                retry=getattr(self, "retry", None),
             )
         return runtime
 
-    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None):
+    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None, deadline=None):
         return self.runtime_for(machine).execute(
-            plan, initial_state, schedule_key=schedule_key
+            plan, initial_state, schedule_key=schedule_key, deadline=deadline
         )
 
-    def run_batch(self, items, machine, schedule_keys=None, programs=None):
+    def run_batch(self, items, machine, schedule_keys=None, programs=None, deadline=None):
         runtime = self.runtime_for(machine)
         pairs = [(plan, state) for plan, state, _circuit in items]
-        return runtime.run_batch(pairs, schedule_keys=schedule_keys)
+        return runtime.run_batch(
+            pairs, schedule_keys=schedule_keys, deadline=deadline
+        )
 
     def schedule_cache_counters(self) -> tuple[int, int]:
         """Summed ``(hits, misses)`` of every owned runtime's schedule cache."""
         hits = sum(r.schedule_cache_hits for r in self._runtimes.values())
         misses = sum(r.schedule_cache_misses for r in self._runtimes.values())
         return hits, misses
+
+    def recovery_counters(self) -> dict:
+        return {
+            "retries": sum(r.retries for r in self._runtimes.values()),
+            "fallbacks": getattr(self, "fallbacks", 0)
+            + sum(r.fallbacks for r in self._runtimes.values()),
+            "quarantined_workers": sum(
+                r.quarantined_workers for r in self._runtimes.values()
+            ),
+        }
 
     def close(self):
         for runtime in self._runtimes.values():
@@ -302,7 +382,9 @@ class BaselineBackend(ExecutionBackend):
     def make_plan(self, circuit, machine):
         return self.simulator.partition(circuit, machine)
 
-    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None):
+    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None, deadline=None):
+        if deadline is not None:
+            deadline.check("job")
         # Baseline staging heuristics satisfy their own locality notion but
         # not necessarily Atlas's per-stage invariant; the functional check
         # is correctness of the final state, not the invariant.

@@ -29,6 +29,7 @@ The cache is an LRU over a bounded number of structures and is owned by a
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping
@@ -37,8 +38,16 @@ from ..circuits.circuit import Circuit
 from ..core.kernel import Kernel, KernelSequence
 from ..core.partitioner import PartitionReport
 from ..core.plan import ExecutionPlan, Stage
+from ..errors import CacheCorruptionError
 
-__all__ = ["CacheStats", "PlanCache", "freeze_config", "plan_cache_key", "rebind_plan"]
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "freeze_config",
+    "plan_cache_key",
+    "plan_fingerprint",
+    "rebind_plan",
+]
 
 
 def freeze_config(obj) -> object:
@@ -74,6 +83,34 @@ def plan_cache_key(circuit: Circuit, machine, planner_key: object) -> tuple:
     return (circuit.structural_key(), freeze_config(machine), planner_key)
 
 
+def plan_fingerprint(plan: ExecutionPlan) -> str:
+    """A cheap structural checksum of *plan* for cache-integrity checks.
+
+    Covers the skeleton a rebind relies on — qubit count, per-stage gate
+    membership, the stage partitions, and the kernel boundaries — via one
+    blake2b digest.  Deliberately *not* the full plan repr: the fingerprint
+    is recomputed on every cache hit, so it must stay cheap relative to the
+    rebind + program-recompile work the hit performs anyway.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(repr(
+        (
+            plan.num_qubits,
+            tuple(
+                (
+                    tuple(stage.gate_indices),
+                    tuple(sorted(stage.partition.logical_to_physical().items())),
+                    tuple(tuple(k.gate_indices) for k in stage.kernels)
+                    if stage.kernels is not None
+                    else None,
+                )
+                for stage in plan.stages
+            ),
+        )
+    ).encode())
+    return h.hexdigest()
+
+
 @dataclass
 class CacheStats:
     """Hit/miss accounting of one :class:`PlanCache`."""
@@ -81,6 +118,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Entries that failed their integrity check on lookup (each one was
+    #: evicted and surfaced as a :class:`CacheCorruptionError`).
+    corruptions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -95,6 +135,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "corruptions": self.corruptions,
             "hit_rate": self.hit_rate,
         }
 
@@ -124,15 +165,29 @@ class PlanCache:
         """Look up *key*, counting a hit or miss and refreshing LRU order.
 
         Returns ``(plan, report, program)`` — ``program`` is ``None`` when
-        the entry was stored without a compiled program.
+        the entry was stored without a compiled program.  Every hit is
+        verified against the structural checksum recorded at :meth:`put`
+        time; an entry that no longer matches (a mutated or corrupted plan)
+        is evicted and surfaced as a
+        :class:`~repro.errors.CacheCorruptionError` — the caller replans
+        instead of executing a poisoned structure.
         """
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             return None
+        plan, report, program, checksum = entry
+        if checksum is not None and plan_fingerprint(plan) != checksum:
+            del self._entries[key]
+            self.stats.corruptions += 1
+            self.stats.misses += 1
+            raise CacheCorruptionError(
+                "cached plan failed its integrity check; entry evicted",
+                site="cache_rebind",
+            )
         self._entries.move_to_end(key)
         self.stats.hits += 1
-        return entry
+        return plan, report, program
 
     def put(
         self,
@@ -150,7 +205,14 @@ class PlanCache:
         elif len(self._entries) >= self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
-        self._entries[key] = (plan, report, program)
+        self._entries[key] = (plan, report, program, plan_fingerprint(plan))
+
+    def evict(self, key: tuple) -> bool:
+        """Drop *key* if present (used on corruption detected downstream)."""
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
 
     def clear(self) -> None:
         self._entries.clear()

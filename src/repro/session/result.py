@@ -88,6 +88,12 @@ class Result:
     #: Executor-specific stats: ``ExecutionTrace`` (incore), ``OffloadStats``
     #: (offload/parallel), or ``None``.
     execution_stats: object | None = None
+    #: Recovery provenance for the job this result belongs to: non-zero
+    #: counters only (``retries``, ``fallbacks``, ``quarantined_workers``,
+    #: ``faults_injected``) plus ``backend_chain`` when the job degraded
+    #: across backends.  ``None`` for a clean run — so auditing recovered
+    #: runs is one truthiness check.
+    recovery: dict | None = None
 
     def expectation(self, observable) -> float:
         """Look up a computed expectation value by observable spec."""
@@ -121,6 +127,10 @@ class Result:
             # — for the run that actually planned — the per-pass telemetry.
             "plan_provenance": dict(self.plan.provenance),
             "planning": self.report.as_dict() if self.report is not None else None,
+            # Recovery provenance: ``None`` for a clean run, else the
+            # non-zero recovery counters (and any backend fallback chain)
+            # of the job that produced this result.
+            "recovery": dict(self.recovery) if self.recovery else None,
         }
 
 

@@ -44,8 +44,21 @@ from ..cluster.machine import MachineConfig
 from ..core.kernelize import KernelizeConfig
 from ..core.partitioner import PartitionReport
 from ..core.plan import ExecutionPlan
+from ..errors import (
+    AdmissionError,
+    CacheCorruptionError,
+    Deadline,
+    KernelError,
+    ReproError,
+    RetryPolicy,
+    SessionClosedError,
+    StateValidationError,
+    TransientError,
+)
 from ..planner.pipeline import PassManager, legacy_pipeline, resolve_planner
+from ..runtime import faults as _faults
 from ..runtime.compile import compile_plan
+from ..runtime.faults import FaultInjector
 from ..sim.fusion import fusion_cache_stats
 from ..sim.program import CompiledProgram
 from ..sim.statevector import StateVector
@@ -103,6 +116,17 @@ class SessionStats:
     fusion_cache_hits: int = 0
     fusion_cache_misses: int = 0
     fusion_cache_evictions: int = 0
+    #: Recovery accounting (see ``docs/robustness.md``): transient shard
+    #: retries across the session's runtimes, graceful degradations taken
+    #: (backend chain, compiled-program → interpreter, planner preset →
+    #: fallback, cache evict-and-replan), workers quarantined after
+    #: exhausting their retry budget, injected faults fired, and cache
+    #: entries evicted for failing their integrity check.
+    retries: int = 0
+    fallbacks: int = 0
+    quarantined_workers: int = 0
+    faults_injected: int = 0
+    cache_corruptions: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -129,6 +153,11 @@ class SessionStats:
             "fusion_cache_hits": self.fusion_cache_hits,
             "fusion_cache_misses": self.fusion_cache_misses,
             "fusion_cache_evictions": self.fusion_cache_evictions,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "quarantined_workers": self.quarantined_workers,
+            "faults_injected": self.faults_injected,
+            "cache_corruptions": self.cache_corruptions,
         }
 
 
@@ -165,9 +194,29 @@ class Session:
         generator; two sessions with equal seeds draw identical sequences.
     cache_size:
         Maximum number of plan structures kept in the cache.
+    retry:
+        :class:`~repro.errors.RetryPolicy` for transient failures in the
+        shard runtimes (default: the shared bounded-backoff policy).
+    faults:
+        Fault-injection plan for this session's jobs: a
+        :class:`~repro.runtime.faults.FaultPlan`, a spec string
+        (``"shard_load:transient:2"``), or a list of
+        :class:`~repro.runtime.faults.FaultSpec`.  Activated around each
+        :meth:`run` call; see ``docs/robustness.md``.
+    degrade:
+        Allow graceful degradation (the backend fallback chain, planner
+        preset fallback).  ``False`` turns every degradation point into an
+        immediate typed error.
+    memory_budget_bytes:
+        Modelled device-memory budget for the admission check: jobs whose
+        modelled working set exceeds it are degraded down the backend
+        chain (``incore`` → ``offload`` → ``parallel``) or rejected with
+        :class:`~repro.errors.AdmissionError`.  ``None`` disables the
+        check.
 
     Use as a context manager (or call :meth:`close`) to release
-    backend-owned worker pools and buffers.
+    backend-owned worker pools and buffers.  :meth:`close` is idempotent;
+    any use after it raises :class:`~repro.errors.SessionClosedError`.
     """
 
     def __init__(
@@ -182,6 +231,10 @@ class Session:
         ilp_time_limit: "float | None | object" = _UNSET,
         seed: int = 0,
         cache_size: int = 128,
+        retry: RetryPolicy | None = None,
+        faults: "object | None" = None,
+        degrade: bool = True,
+        memory_budget_bytes: int | None = None,
     ):
         if backend != "auto" and backend not in BACKENDS:
             raise ValueError(
@@ -218,6 +271,14 @@ class Session:
         self.kernelize_config = kernelize_config
         self.cache = PlanCache(maxsize=cache_size)
         self.stats = SessionStats()
+        self.retry = retry
+        self.degrade = degrade
+        self.memory_budget_bytes = memory_budget_bytes
+        self._injector = FaultInjector(faults) if faults is not None else None
+        #: Session-level degradations (backend chain, planner fallback,
+        #: program-compile fallback, cache evict-and-replan); backend-level
+        #: counters are aggregated separately (see ``_recovery_totals``).
+        self._session_fallbacks = 0
         self._fusion_baseline = fusion_cache_stats()
         self._rng = np.random.default_rng(seed)
         self._backends: dict[str, ExecutionBackend] = {}
@@ -234,12 +295,20 @@ class Session:
         self.close()
 
     def close(self) -> None:
-        """Release every backend's pools/buffers and drop the plan cache."""
+        """Release every backend's pools/buffers and drop the plan cache.
+
+        Idempotent: closing an already-closed session is a no-op.  Any
+        later use raises :class:`~repro.errors.SessionClosedError`.
+        """
         for backend in self._backends.values():
             backend.close()
         self._backends.clear()
         self.cache.clear()
         self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # ------------------------------------------------------------------
     # Backend resolution
@@ -248,10 +317,14 @@ class Session:
     def backend_instance(self, name: str) -> ExecutionBackend:
         """This session's instance of the backend registered under *name*."""
         if self._closed:
-            raise RuntimeError("Session is closed")
+            raise SessionClosedError("Session is closed")
         instance = self._backends.get(name)
         if instance is None:
             instance = self._backends[name] = make_backend(name)
+            # Backends consult getattr(self, "retry", None) when building
+            # their runtimes; only fill it when the factory left it unset.
+            if self.retry is not None and getattr(instance, "retry", None) is None:
+                instance.retry = self.retry
         return instance
 
     def resolve_backend(
@@ -274,6 +347,125 @@ class Session:
                 "no machine: pass machine= to Session(...) or to run(...)"
             )
         return resolved
+
+    # ------------------------------------------------------------------
+    # Robustness helpers: admission, degradation chain, recovery totals
+    # ------------------------------------------------------------------
+
+    #: Ordered degradation chain: each backend's smaller-working-set
+    #: successor.  ``incore`` holds the full state in device memory;
+    #: ``offload`` streams one shard's buffers; ``parallel`` streams one
+    #: shard-buffer set per worker but recovers transient faults in flight.
+    _BACKEND_CHAIN = {"incore": "offload", "offload": "parallel"}
+
+    def _next_backend(self, name: str) -> str | None:
+        return self._BACKEND_CHAIN.get(name)
+
+    def _modelled_device_bytes(
+        self, name: str, machine: MachineConfig, num_qubits: int
+    ) -> int:
+        """Modelled device-memory working set of one job on backend *name*.
+
+        Complex128 amplitudes: the in-core executors ping-pong two full
+        state buffers; the shard runtimes hold two buffer pairs of ``2^L``
+        amplitudes per worker (the double-buffered prefetch), with the
+        state itself residing in DRAM.
+        """
+        full = 2 * 16 * (1 << num_qubits)
+        if num_qubits <= machine.local_qubits or name not in ("offload", "parallel"):
+            return full
+        shard_pairs = 4 * 16 * (1 << machine.local_qubits)
+        if name == "offload":
+            return shard_pairs
+        workers = max(1, min(machine.num_shards, machine.physical_gpus))
+        return workers * shard_pairs
+
+    def _admit(
+        self,
+        backend_name: str,
+        machine: MachineConfig,
+        num_qubits: int,
+        execute: bool,
+    ) -> tuple[str, list[str]]:
+        """Admission check: reject or degrade over-budget jobs up front.
+
+        With ``memory_budget_bytes`` unset this is a no-op.  Otherwise the
+        job's modelled working set must fit the budget; when it does not,
+        ``degrade=True`` walks the backend chain to the first admissible
+        backend (each hop counted as a fallback) and ``degrade=False`` —
+        or an exhausted chain — raises
+        :class:`~repro.errors.AdmissionError`.
+        Returns ``(admitted_backend, chain_walked)``.
+        """
+        chain = [backend_name]
+        if not execute or self.memory_budget_bytes is None:
+            return backend_name, chain
+        budget = self.memory_budget_bytes
+        name = backend_name
+        while True:
+            need = self._modelled_device_bytes(name, machine, num_qubits)
+            if need <= budget:
+                if len(chain) > 1:
+                    self._session_fallbacks += len(chain) - 1
+                return name, chain
+            nxt = self._next_backend(name) if self.degrade else None
+            if nxt is None:
+                raise AdmissionError(
+                    f"modelled working set of {need} bytes on backend "
+                    f"{name!r} exceeds the memory budget of {budget} bytes"
+                    + (
+                        ""
+                        if self.degrade
+                        else " (degrade=False disables the fallback chain)"
+                    ),
+                    backend=name,
+                    bytes_needed=need,
+                    budget=budget,
+                )
+            name = nxt
+            chain.append(name)
+
+    def _recovery_totals(self) -> dict:
+        """Cumulative recovery counters: session-level + every backend's."""
+        totals = {
+            "retries": 0,
+            "fallbacks": self._session_fallbacks,
+            "quarantined_workers": 0,
+        }
+        for backend in self._backends.values():
+            counters = backend.recovery_counters()
+            for key in ("retries", "fallbacks", "quarantined_workers"):
+                totals[key] += counters.get(key, 0)
+        return totals
+
+    def _validate_state(
+        self, state: StateVector | None, normalize: bool
+    ) -> StateVector | None:
+        """Early initial-state validation (see ``run(normalize=...)``).
+
+        Rejects non-finite amplitudes outright and badly non-normalized
+        states unless ``normalize=True``, which renormalizes a copy — NaNs
+        and norm drift are caught here, at the front door, not after
+        propagating through every stage of the plan.
+        """
+        if state is None:
+            return None
+        data = state.data
+        if not np.all(np.isfinite(data)):
+            raise StateValidationError(
+                "initial state contains non-finite amplitudes"
+            )
+        norm = float(np.linalg.norm(data))
+        if abs(norm - 1.0) <= 1e-6:
+            return state
+        if not normalize:
+            raise StateValidationError(
+                f"initial state has norm {norm:.6g}, not 1; pass "
+                f"normalize=True to renormalize it"
+            )
+        if norm == 0.0:
+            raise StateValidationError("cannot normalize the zero state")
+        return StateVector(state.num_qubits, data / norm)
 
     # ------------------------------------------------------------------
     # Planning (through the structural cache)
@@ -342,24 +534,41 @@ class Session:
         tail = hashlib.blake2b(repr(key[1:]).encode(), digest_size=8).hexdigest()
         schedule_key = f"session-plan-{key[0]}-{tail}"
 
-        cached = self.cache.get(key)
+        try:
+            cached = self.cache.get(key)
+            if cached is not None:
+                _faults.check("cache_rebind")
+        except CacheCorruptionError:
+            # A poisoned entry (failed checksum, or an injected
+            # ``cache_rebind`` fault): evict it and replan from scratch
+            # instead of executing a corrupted structure.
+            self.cache.evict(key)
+            self.stats.cache_corruptions += 1
+            self._session_fallbacks += 1
+            cached = None
         if cached is not None:
             plan, report, base_program = cached
             self.stats.cache_hits += 1
             rebound = rebind_plan(plan, circuit)
             program = None
             if compile_programs and backend_obj.uses_programs:
-                if base_program is None:
-                    # The entry was populated by a backend that does not run
-                    # programs (they share the Atlas planner key); compile
-                    # the cached base plan once and upgrade the entry so
-                    # later hits only rebind.
-                    base_program = compile_plan(plan, machine)
-                    self.stats.programs_compiled += 1
-                    self.cache.put(key, plan, report, base_program)
-                program = compile_plan(rebound, machine, reuse=base_program)
-                self.stats.programs_rebound += 1
-                self.stats.program_ops_reused += program.ops_reused
+                try:
+                    if base_program is None:
+                        # The entry was populated by a backend that does not
+                        # run programs (they share the Atlas planner key);
+                        # compile the cached base plan once and upgrade the
+                        # entry so later hits only rebind.
+                        base_program = compile_plan(plan, machine)
+                        self.stats.programs_compiled += 1
+                        self.cache.put(key, plan, report, base_program)
+                    program = compile_plan(rebound, machine, reuse=base_program)
+                    self.stats.programs_rebound += 1
+                    self.stats.program_ops_reused += program.ops_reused
+                except (KernelError, TransientError):
+                    # Program lowering failed: run this job through the
+                    # backend's uncompiled path instead of failing it.
+                    program = None
+                    self._session_fallbacks += 1
             return rebound, None, True, schedule_key, program
         self.stats.cache_misses += 1
 
@@ -368,9 +577,7 @@ class Session:
         if backend_plan is not None:
             plan, report = backend_plan, None
         else:
-            plan, report = manager.run(
-                circuit, machine, cost_model=self.cost_model
-            )
+            plan, report = self._plan_with_fallback(circuit, machine, manager)
             for name, seconds in report.pass_seconds.items():
                 self.stats.planning_pass_seconds[name] = (
                     self.stats.planning_pass_seconds.get(name, 0.0) + seconds
@@ -383,10 +590,51 @@ class Session:
         self.stats.plans_built += 1
         program = None
         if compile_programs and backend_obj.uses_programs:
-            program = compile_plan(plan, machine)
-            self.stats.programs_compiled += 1
+            try:
+                program = compile_plan(plan, machine)
+                self.stats.programs_compiled += 1
+            except (KernelError, TransientError):
+                program = None
+                self._session_fallbacks += 1
         self.cache.put(key, plan, report, program)
         return plan, report, False, schedule_key, program
+
+    def _plan_with_fallback(
+        self, circuit: Circuit, machine: MachineConfig, manager: PassManager
+    ) -> tuple[ExecutionPlan, PartitionReport]:
+        """Run the planning pipeline, degrading on failure when allowed.
+
+        Chain (``degrade=True``): the configured pipeline → the ``"fast"``
+        preset → the legacy fixed pipeline.  Each fallback is counted in
+        ``SessionStats.fallbacks``; when every pipeline fails, the
+        *original* error propagates (the fallbacks were attempts to save
+        the job, not the authoritative diagnosis).
+
+        Configuration errors — a plain ``ValueError``/``TypeError`` that is
+        not a typed :class:`ReproError` (unknown stager, unknown pass, bad
+        options) — never degrade: the user asked for something that does
+        not exist, and silently planning with a different pipeline would
+        mask the mistake.
+        """
+        try:
+            return manager.run(circuit, machine, cost_model=self.cost_model)
+        except Exception as exc:
+            if not self.degrade:
+                raise
+            if isinstance(exc, (ValueError, TypeError)) and not isinstance(
+                exc, ReproError
+            ):
+                raise
+            original = exc
+        for fallback in (resolve_planner("fast"), legacy_pipeline()):
+            if fallback.signature() == manager.signature():
+                continue
+            self._session_fallbacks += 1
+            try:
+                return fallback.run(circuit, machine, cost_model=self.cost_model)
+            except Exception:
+                continue
+        raise original
 
     # ------------------------------------------------------------------
     # The job API
@@ -405,6 +653,8 @@ class Session:
         planner: "str | PassManager | None" = None,
         seed: int | None = None,
         execute: bool = True,
+        deadline: "Deadline | float | None" = None,
+        normalize: bool = False,
     ) -> Job:
         """Run one circuit or a batch and return a :class:`Job`.
 
@@ -435,7 +685,21 @@ class Session:
             and modelled timing with ``state=None`` (useful for circuits
             too large to materialise, and for the modelled-comparison
             drivers in :mod:`repro.analysis`).
+        deadline:
+            Wall-clock budget in seconds (or a
+            :class:`~repro.errors.Deadline`) for the whole job, checked
+            cooperatively at planning, batch-item, and stage/segment/shard
+            boundaries.  Expiry raises
+            :class:`~repro.errors.DeadlineExceeded` with the session still
+            usable.
+        normalize:
+            Renormalize initial states whose norm drifted (opt-in);
+            without it, non-finite or badly non-normalized initial states
+            raise :class:`~repro.errors.StateValidationError` instead of
+            silently propagating NaNs through the whole plan.
         """
+        if self._closed:
+            raise SessionClosedError("Session is closed")
         single = isinstance(circuits, Circuit)
         circuit_list = [circuits] if single else list(circuits)
         if not circuit_list:
@@ -464,59 +728,106 @@ class Session:
             states = initial_states
         else:
             states = [initial_state] * len(circuit_list)
+        if execute:
+            states = [self._validate_state(s, normalize) for s in states]
 
         backend_name = self.resolve_backend(
             circuit_list[0].num_qubits, machine, backend
         )
-        backend_obj = self.backend_instance(backend_name)
         rng = self._rng if seed is None else np.random.default_rng(seed)
         observable_keys = (
             [normalize_observable(o) for o in observables] if observables else []
         )
+        deadline = Deadline.resolve(deadline)
 
         t_job = time.perf_counter()
-        planned: dict[int, tuple] = {}
-        items = []
-        for circuit, state in zip(circuit_list, states):
-            if id(circuit) in planned:
-                # The same circuit object fanned out over several initial
-                # states: reuse the exact plan and compiled program (not
-                # even a rebind) — the backend batches these into one
-                # stacked (B, 2^n) execution.
-                plan, report, hit, schedule_key, program = planned[id(circuit)]
-            else:
-                plan, report, hit, schedule_key, program = self.plan_for(
-                    circuit,
-                    machine,
-                    backend_name,
-                    compile_programs=execute,
-                    planner=planner,
-                )
-                planned[id(circuit)] = (plan, report, hit, schedule_key, program)
-            items.append((circuit, state, plan, report, hit, schedule_key, program))
+        recovery_before = self._recovery_totals()
+        injector = self._injector
+        counting = injector if injector is not None else _faults.active_injector()
+        faults_before = counting.total_fired if counting is not None else 0
+        if injector is not None:
+            _faults.activate(injector)
+        try:
+            # Admission: degrade down the backend chain before allocating a
+            # working set the modelled device memory cannot hold.
+            backend_name, backend_chain = self._admit(
+                backend_name, machine, circuit_list[0].num_qubits, execute
+            )
+            backend_obj = self.backend_instance(backend_name)
 
-        if execute:
-            t0 = time.perf_counter()
-            batch_kwargs = {}
-            if backend_obj.uses_programs:
-                # Only program-running backends see the keyword, so
-                # third-party backends with the older run_batch signature
-                # keep working.
-                batch_kwargs["programs"] = [item[6] for item in items]
-            outs = backend_obj.run_batch(
-                [(plan, state, circuit) for circuit, state, plan, *_ in items],
-                machine,
-                schedule_keys=[item[5] for item in items],
-                **batch_kwargs,
-            )
-            execute_seconds = time.perf_counter() - t0
-            self.stats.execute_seconds += execute_seconds
-            self.stats.backend_runs[backend_name] = (
-                self.stats.backend_runs.get(backend_name, 0) + len(items)
-            )
-        else:
-            outs = [(None, None)] * len(items)
-            execute_seconds = 0.0
+            planned: dict[int, tuple] = {}
+            items = []
+            for circuit, state in zip(circuit_list, states):
+                deadline.check("planning")
+                if id(circuit) in planned:
+                    # The same circuit object fanned out over several initial
+                    # states: reuse the exact plan and compiled program (not
+                    # even a rebind) — the backend batches these into one
+                    # stacked (B, 2^n) execution.
+                    plan, report, hit, schedule_key, program = planned[id(circuit)]
+                else:
+                    plan, report, hit, schedule_key, program = self.plan_for(
+                        circuit,
+                        machine,
+                        backend_name,
+                        compile_programs=execute,
+                        planner=planner,
+                    )
+                    planned[id(circuit)] = (plan, report, hit, schedule_key, program)
+                items.append((circuit, state, plan, report, hit, schedule_key, program))
+
+            if execute:
+                t0 = time.perf_counter()
+                while True:
+                    batch_kwargs = {}
+                    if backend_obj.uses_programs:
+                        # Only program-running backends see the keyword, so
+                        # third-party backends with the older run_batch
+                        # signature keep working.
+                        batch_kwargs["programs"] = [item[6] for item in items]
+                    if deadline.seconds is not None:
+                        batch_kwargs["deadline"] = deadline
+                    try:
+                        outs = backend_obj.run_batch(
+                            [(plan, state, circuit) for circuit, state, plan, *_ in items],
+                            machine,
+                            schedule_keys=[item[5] for item in items],
+                            **batch_kwargs,
+                        )
+                        break
+                    except MemoryError:
+                        # A real allocation failure: degrade down the chain
+                        # (smaller device working set) and re-run the batch.
+                        next_name = self._next_backend(backend_name)
+                        if not self.degrade or next_name is None:
+                            raise
+                        backend_name = next_name
+                        backend_obj = self.backend_instance(backend_name)
+                        backend_chain.append(backend_name)
+                        self._session_fallbacks += 1
+                execute_seconds = time.perf_counter() - t0
+                self.stats.execute_seconds += execute_seconds
+                self.stats.backend_runs[backend_name] = (
+                    self.stats.backend_runs.get(backend_name, 0) + len(items)
+                )
+            else:
+                outs = [(None, None)] * len(items)
+                execute_seconds = 0.0
+        finally:
+            if injector is not None:
+                _faults.deactivate(injector)
+
+        # Per-job recovery provenance: what it took to deliver this job
+        # (deltas over the pre-job counters), attached to every Result.
+        recovery_after = self._recovery_totals()
+        recovery = {
+            k: recovery_after[k] - recovery_before[k] for k in recovery_after
+        }
+        if counting is not None:
+            recovery["faults_injected"] = counting.total_fired - faults_before
+        if len(backend_chain) > 1:
+            recovery["backend_chain"] = list(backend_chain)
+        recovery = {k: v for k, v in recovery.items() if v} or None
 
         per_item_wall = execute_seconds / len(items)
         results = []
@@ -544,9 +855,15 @@ class Session:
                     shots=shots if samples is not None else None,
                     expectations=expectations,
                     execution_stats=exec_stats,
+                    recovery=recovery,
                 )
             )
 
+        self.stats.retries = recovery_after["retries"]
+        self.stats.fallbacks = recovery_after["fallbacks"]
+        self.stats.quarantined_workers = recovery_after["quarantined_workers"]
+        if counting is not None:
+            self.stats.faults_injected = counting.total_fired
         if isinstance(backend_obj, ParallelBackend):
             hits, misses = backend_obj.schedule_cache_counters()
             self.stats.schedule_cache_hits = hits
