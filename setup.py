@@ -9,13 +9,14 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.2.0",
+    version="1.5.0",
     description=(
         "Atlas reproduction: hierarchical partitioning for quantum circuit "
         "simulation (SC 2024)"
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
 )

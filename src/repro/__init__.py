@@ -43,6 +43,12 @@ from dataclasses import dataclass
 
 from .circuits import Circuit, Gate, from_qasm, make_gate, to_qasm
 from .cluster import DEFAULT_COST_MODEL, CostModel, MachineConfig
+from .check import (
+    CheckReport,
+    verify_plan,
+    verify_program,
+    verify_schedule,
+)
 from .errors import (
     AdmissionError,
     CacheCorruptionError,
@@ -56,6 +62,7 @@ from .errors import (
     SessionClosedError,
     ShardIOError,
     StateValidationError,
+    StaticCheckError,
     TransientError,
 )
 from .core import (
@@ -77,7 +84,7 @@ from .runtime import (
 from .session import Job, Result, Session
 from .sim import CompiledProgram, StateVector, simulate_reference
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Circuit",
@@ -115,6 +122,7 @@ __all__ = [
     "PlanValidationError",
     "StateValidationError",
     "AdmissionError",
+    "StaticCheckError",
     "DeadlineExceeded",
     "CacheCorruptionError",
     "SessionClosedError",
@@ -123,6 +131,11 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
+    # Static verification layer.
+    "CheckReport",
+    "verify_plan",
+    "verify_program",
+    "verify_schedule",
     "SimulationResult",
     "simulate",
     "__version__",

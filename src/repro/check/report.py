@@ -1,0 +1,119 @@
+"""Structured results for the static verifier.
+
+Every checker in :mod:`repro.check` returns a :class:`CheckReport` — a
+record of which checks ran and which :class:`Violation`\\ s they found —
+rather than raising on first failure, so callers can collect *all*
+violations of an artifact in one pass.  :meth:`CheckReport.raise_if_failed`
+converts a failed report into a single :class:`repro.errors.StaticCheckError`
+(the PR 6 taxonomy's permanent branch) carrying the report for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import StaticCheckError
+
+__all__ = ["CheckReport", "Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation found by a static checker.
+
+    ``rule`` is the stable rule identifier documented in
+    ``docs/static-analysis.md`` (e.g. ``"plan.locality"``,
+    ``"program.parity"``, ``"schedule.overlap"``); ``site`` localizes the
+    violation (stage index, op index, shard/worker index) and ``context``
+    carries free-form diagnostic detail.
+    """
+
+    rule: str
+    message: str
+    site: str | None = None
+    op_index: int | None = None
+    stage: int | None = None
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        where = []
+        if self.stage is not None:
+            where.append(f"stage {self.stage}")
+        if self.op_index is not None:
+            where.append(f"op {self.op_index}")
+        if self.site:
+            where.append(self.site)
+        loc = " @ ".join(where)
+        return f"[{self.rule}] {self.message}" + (f" ({loc})" if loc else "")
+
+
+@dataclass
+class CheckReport:
+    """The outcome of one static-verification pass over one artifact.
+
+    ``target`` names what was checked (``"plan"``, ``"program"``,
+    ``"schedule"``); ``checks_run`` lists the rule families that executed
+    (so a clean report can prove *what* it proved); ``violations`` is empty
+    exactly when the artifact verified clean.
+    """
+
+    target: str
+    checks_run: list[str] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(
+        self,
+        rule: str,
+        message: str,
+        *,
+        site: str | None = None,
+        op_index: int | None = None,
+        stage: int | None = None,
+        **context: Any,
+    ) -> None:
+        self.violations.append(
+            Violation(
+                rule=rule, message=message, site=site,
+                op_index=op_index, stage=stage, context=context,
+            )
+        )
+
+    def merge(self, other: "CheckReport") -> "CheckReport":
+        """Fold *other*'s checks and violations into this report."""
+        self.checks_run.extend(
+            c for c in other.checks_run if c not in self.checks_run
+        )
+        self.violations.extend(other.violations)
+        return self
+
+    def raise_if_failed(self) -> "CheckReport":
+        """Raise :class:`StaticCheckError` when any violation was recorded;
+        return ``self`` otherwise (so calls chain)."""
+        if self.violations:
+            first = self.violations[0]
+            raise StaticCheckError(
+                f"static check of {self.target} failed with "
+                f"{len(self.violations)} violation(s): {first}",
+                report=self,
+                site=first.rule,
+                target=self.target,
+                violations=[str(v) for v in self.violations],
+            )
+        return self
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "target": self.target,
+            "ok": self.ok,
+            "checks_run": list(self.checks_run),
+            "violations": [str(v) for v in self.violations],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return f"<CheckReport {self.target}: {status}>"

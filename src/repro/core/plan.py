@@ -8,11 +8,12 @@ Algorithm 1's ``stagedKernels`` — and the input to the executors in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Any, Iterable
 
 from ..circuits.circuit import Circuit
 from ..circuits.gates import Gate
-from .kernel import Kernel, KernelSequence
+from ..errors import PlanValidationError
+from .kernel import KernelSequence
 
 __all__ = ["QubitPartition", "Stage", "ExecutionPlan"]
 
@@ -35,7 +36,7 @@ class QubitPartition:
     def __post_init__(self) -> None:
         all_qubits = list(self.local) + list(self.regional) + list(self.global_)
         if len(set(all_qubits)) != len(all_qubits):
-            raise ValueError("qubit appears in more than one partition class")
+            raise PlanValidationError("qubit appears in more than one partition class")
 
     @classmethod
     def from_sets(
@@ -83,7 +84,7 @@ class QubitPartition:
             return "regional"
         if logical_qubit in self.global_:
             return "global"
-        raise ValueError(f"qubit {logical_qubit} not in partition")
+        raise PlanValidationError(f"qubit {logical_qubit} not in partition")
 
 
 @dataclass
@@ -105,13 +106,30 @@ class Stage:
     def kernel_cost(self) -> float:
         return self.kernels.total_cost if self.kernels is not None else 0.0
 
-    def validate_locality(self) -> bool:
-        """Check the staging invariant: non-insular qubits are all local."""
+    def is_local(self) -> bool:
+        """Whether the staging invariant holds: non-insular qubits all local."""
         local = set(self.partition.local)
-        for gate in self.gates:
-            if not set(gate.non_insular_qubits()) <= local:
-                return False
-        return True
+        return all(set(g.non_insular_qubits()) <= local for g in self.gates)
+
+    def validate_locality(self, stage_index: int | None = None) -> None:
+        """Enforce the staging invariant: non-insular qubits are all local.
+
+        Raises :class:`~repro.errors.PlanValidationError` naming the
+        offending gate and qubit; use :meth:`is_local` for the boolean
+        predicate.
+        """
+        local = set(self.partition.local)
+        for offset, gate in enumerate(self.gates):
+            bad = set(gate.non_insular_qubits()) - local
+            if bad:
+                raise PlanValidationError(
+                    f"stage violates the locality invariant: non-insular "
+                    f"qubit(s) {sorted(bad)} of gate {gate} are not in the "
+                    f"stage's local set {sorted(local)}",
+                    site="plan.locality",
+                    stage=stage_index,
+                    gate_offset=offset,
+                )
 
 
 @dataclass
@@ -125,7 +143,7 @@ class ExecutionPlan:
     #: preset and pass sequence produced the plan and which passes skipped
     #: their work.  Carried through plan-cache rebinds so every executed
     #: plan can say where it came from.
-    provenance: dict = field(default_factory=dict)
+    provenance: dict[str, Any] = field(default_factory=dict)
 
     @property
     def num_stages(self) -> int:
@@ -157,20 +175,29 @@ class ExecutionPlan:
         predecessor it depends on).
         """
         if self.gate_count() != len(circuit):
-            raise ValueError(
-                f"plan covers {self.gate_count()} gates, circuit has {len(circuit)}"
+            raise PlanValidationError(
+                f"plan covers {self.gate_count()} gates, circuit has {len(circuit)}",
+                site="plan.coverage",
+                plan_gates=self.gate_count(),
+                circuit_gates=len(circuit),
             )
         seen: list[int] = []
-        for stage in self.stages:
-            if not stage.validate_locality():
-                raise ValueError("stage violates the locality invariant")
+        for stage_index, stage in enumerate(self.stages):
+            stage.validate_locality(stage_index)
             seen.extend(stage.gate_indices)
         if sorted(seen) != list(range(len(circuit))):
-            raise ValueError("plan does not cover every gate exactly once")
+            raise PlanValidationError(
+                "plan does not cover every gate exactly once",
+                site="plan.coverage",
+                indices=sorted(seen),
+            )
         if not circuit.is_topologically_equivalent(seen):
-            raise ValueError("stage assignment violates gate dependencies")
+            raise PlanValidationError(
+                "stage assignment violates gate dependencies",
+                site="plan.dependencies",
+            )
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, Any]:
         return {
             "circuit": self.circuit_name,
             "num_qubits": self.num_qubits,

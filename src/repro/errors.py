@@ -46,6 +46,7 @@ __all__ = [
     "SessionClosedError",
     "ShardIOError",
     "StateValidationError",
+    "StaticCheckError",
     "TransientError",
 ]
 
@@ -97,6 +98,21 @@ class PlanValidationError(PermanentError, ValueError):
 class StateValidationError(PermanentError, ValueError):
     """An initial state failed validation (non-finite or badly
     non-normalized amplitudes; see ``Session.run(normalize=...)``)."""
+
+
+class StaticCheckError(PermanentError, ValueError):
+    """The static verifier (:mod:`repro.check`) rejected a plan, compiled
+    program or shard schedule before execution.
+
+    Retrying cannot help — the artifact itself violates an execution
+    invariant.  ``report`` carries the full :class:`repro.check.CheckReport`
+    whose violations name the rule, the op/stage/shard site and diagnostic
+    context; ``site`` holds the first violation's site string.
+    """
+
+    def __init__(self, message: str = "", *, report=None, site=None, **context):
+        super().__init__(message, site=site, **context)
+        self.report = report
 
 
 class AdmissionError(PermanentError, MemoryError):

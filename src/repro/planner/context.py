@@ -37,7 +37,7 @@ class PassRecord:
     #: Pass-specific quality/size facts (stage counts, kernel costs, ...).
     metrics: dict[str, Any] = field(default_factory=dict)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "seconds": self.seconds,
@@ -74,7 +74,7 @@ class PlanningDiagnostics:
     def total_seconds(self) -> float:
         return sum(r.seconds for r in self.records)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return {
             "passes": [r.as_dict() for r in self.records],
             "total_seconds": self.total_seconds,

@@ -56,6 +56,7 @@ __all__ = [
     "KernelizePass",
     "RefinePass",
     "FinalizePass",
+    "VerifyPass",
     "PASSES",
     "KERNELIZERS",
     "STAGERS",
@@ -491,6 +492,30 @@ class FinalizePass(PlanningPass):
         )
 
 
+class VerifyPass(PlanningPass):
+    """Statically verify the assembled plan (:func:`repro.check.verify_plan`).
+
+    Runs after ``finalize``; proves partition coverage, qubit bounds, the
+    locality invariant, kernel consistency and exact circuit coverage, and
+    raises :class:`repro.errors.StaticCheckError` on any violation.  The
+    quality preset ends with it; any custom pipeline can append it.
+    """
+
+    name = "verify"
+
+    def run(self, ctx: PlanningContext, record: PassRecord) -> None:
+        if ctx.plan is None:
+            raise RuntimeError("verify pass needs a finalized plan")
+        from ..check import verify_plan
+
+        report = verify_plan(ctx.plan, machine=ctx.machine, circuit=ctx.circuit)
+        record.metrics.update(
+            checks_run=list(report.checks_run),
+            violations=len(report.violations),
+        )
+        report.raise_if_failed()
+
+
 #: Pass registry: name -> pass instance (passes are stateless).
 PASSES: dict[str, PlanningPass] = {
     p.name: p
@@ -501,6 +526,7 @@ PASSES: dict[str, PlanningPass] = {
         KernelizePass(),
         RefinePass(),
         FinalizePass(),
+        VerifyPass(),
     )
 }
 

@@ -44,6 +44,7 @@ from ..cluster.machine import MachineConfig
 from ..core.kernelize import KernelizeConfig
 from ..core.partitioner import PartitionReport
 from ..core.plan import ExecutionPlan
+from ..errors import PlanValidationError
 from .context import PassRecord, PlanningContext
 from .passes import PASSES
 
@@ -177,7 +178,8 @@ class PassManager:
         diagnostics = ctx.diagnostics
         seconds = diagnostics.pass_seconds()
         plan = ctx.plan
-        assert plan is not None
+        if plan is None:  # pragma: no cover - guarded by run()
+            raise PlanValidationError("pipeline finished without producing a plan")
         return PartitionReport(
             staging_seconds=seconds.get("stage", 0.0),
             kernelization_seconds=seconds.get("kernelize", 0.0)
@@ -278,6 +280,7 @@ def _quality_preset() -> PassManager:
                 {"strategies": ("ordered", "beam"), "beam_threshold": 500},
             ),
             ("finalize", {"validate": True}),
+            ("verify", {}),
         ],
         preset="quality",
         time_budget=30.0,

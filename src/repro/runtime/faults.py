@@ -105,7 +105,7 @@ def _resolve_error_class(site: str, name: str) -> type[ReproError]:
         return _SITE_PERMANENT_DEFAULT[site]
     cls = getattr(_errors, name, None)
     if cls is None or not (isinstance(cls, type) and issubclass(cls, ReproError)):
-        raise ValueError(
+        raise ValueError(  # lint: config-error
             f"unknown fault error {name!r}; use 'transient', 'permanent', or a "
             f"class name from repro.errors"
         )
@@ -146,13 +146,13 @@ class FaultSpec:
 
     def __post_init__(self):
         if self.site not in SITES:
-            raise ValueError(f"unknown fault site {self.site!r}; known: {SITES}")
+            raise ValueError(f"unknown fault site {self.site!r}; known: {SITES}")  # lint: config-error
         if self.times < 1:
-            raise ValueError("times must be at least 1")
+            raise ValueError("times must be at least 1")  # lint: config-error
         if self.after < 0:
-            raise ValueError("after must be non-negative")
+            raise ValueError("after must be non-negative")  # lint: config-error
         if not (0.0 < self.probability <= 1.0):
-            raise ValueError("probability must be in (0, 1]")
+            raise ValueError("probability must be in (0, 1]")  # lint: config-error
         _resolve_error_class(self.site, self.error)  # validate eagerly
 
     def error_class(self) -> type[ReproError]:
@@ -181,13 +181,13 @@ class FaultPlan:
                     key, _, value = clause.partition("=")
                     key = key.strip()
                     if key not in ("worker", "shard") or not value.strip().isdigit():
-                        raise ValueError(
+                        raise ValueError(  # lint: config-error
                             f"bad fault filter {clause!r}; expected worker=N or shard=N"
                         )
                     filters[key] = int(value)
             parts = chunk.split(":")
             if not 1 <= len(parts) <= 4:
-                raise ValueError(
+                raise ValueError(  # lint: config-error
                     f"bad fault spec {chunk!r}; expected site[:error[:times[:after]]]"
                 )
             site = parts[0].strip()
@@ -307,7 +307,7 @@ def activate(injector: FaultInjector) -> None:
     global _active
     with _activation_lock:
         if _active is not None and _active is not injector:
-            raise RuntimeError(
+            raise RuntimeError(  # lint: config-error
                 "another fault injector is already active; fault-injecting "
                 "Sessions cannot run concurrently in one process"
             )

@@ -56,6 +56,7 @@ from ..core.plan import ExecutionPlan
 from ..errors import (
     DEFAULT_RETRY_POLICY,
     Deadline,
+    PermanentError,
     PlanValidationError,
     ReproError,
     RetryPolicy,
@@ -140,7 +141,7 @@ class ParallelRuntime:
         if num_workers is None:
             num_workers = min(machine.num_shards, machine.physical_gpus)
         if num_workers < 1:
-            raise ValueError("num_workers must be at least 1")
+            raise ValueError("num_workers must be at least 1")  # lint: config-error
         self.machine = machine
         self.num_workers = num_workers
         self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
@@ -355,7 +356,10 @@ class ParallelRuntime:
             np.copyto(pairs[slot][0], shards[shard_index])
             return time.perf_counter() - start
 
-        assert self._loader_pool is not None
+        if self._loader_pool is None:
+            raise SessionClosedError(
+                "worker scheduled without a loader pool (runtime closed?)"
+            )
         prefetch: dict[int, Future] = {0: self._loader_pool.submit(load, 0, indices[0])}
         policy = self.retry
         try:
@@ -578,7 +582,9 @@ class ParallelRuntime:
             # Every worker was quarantined by an earlier segment; execute()
             # can only get here if that segment still completed, which
             # cannot happen — quarantining the last worker escalates below.
-            raise RuntimeError("no workers left to schedule")  # pragma: no cover
+            raise PermanentError(
+                "no workers left to schedule"
+            )  # pragma: no cover
         assignments = {
             w: list(range(j, num_shards, len(active)))
             for j, w in enumerate(active)
@@ -639,7 +645,10 @@ class ParallelRuntime:
             leftover.sort()
             active = [w for w in range(width) if w not in quarantined]
             if not active:
-                assert last_cause is not None
+                if last_cause is None:  # pragma: no cover - defensive
+                    raise PermanentError(
+                        "every worker quarantined but no failure cause recorded"
+                    )
                 raise last_cause
             assignments = {
                 w: leftover[j :: len(active)] for j, w in enumerate(active)
@@ -676,7 +685,7 @@ class ParallelRuntime:
         items: list[tuple[ExecutionPlan, StateVector | None]] = []
         if isinstance(plans, ExecutionPlan):
             if initial_states is None:
-                raise ValueError(
+                raise ValueError(  # lint: config-error
                     "run_batch(plan, ...) needs initial_states; pass a list "
                     "of plans to run several circuits"
                 )
@@ -684,7 +693,7 @@ class ParallelRuntime:
         elif initial_states is not None:
             plan_list = list(plans)
             if len(plan_list) != len(initial_states):
-                raise ValueError(
+                raise ValueError(  # lint: config-error
                     f"{len(plan_list)} plans but {len(initial_states)} "
                     f"initial states"
                 )
@@ -701,7 +710,7 @@ class ParallelRuntime:
         else:
             keys = list(schedule_keys)
             if len(keys) != len(items):
-                raise ValueError(
+                raise ValueError(  # lint: config-error
                     f"{len(keys)} schedule keys but {len(items)} batch items"
                 )
         deadline = Deadline.resolve(deadline)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.plan import QubitPartition
+from ..errors import PlanValidationError, StateValidationError
 
 __all__ = ["QubitLayout", "permutation_axes", "permute_state", "shard_slices"]
 
@@ -36,9 +37,11 @@ class QubitLayout:
     @staticmethod
     def _validate(mapping: dict[int, int], num_qubits: int) -> None:
         if sorted(mapping.keys()) != list(range(num_qubits)):
-            raise ValueError("mapping must cover every logical qubit")
+            raise PlanValidationError("mapping must cover every logical qubit")
         if sorted(mapping.values()) != list(range(num_qubits)):
-            raise ValueError("mapping must be a permutation of physical positions")
+            raise PlanValidationError(
+                "mapping must be a permutation of physical positions"
+            )
 
     def physical(self, logical: int) -> int:
         return self._logical_to_physical[logical]
@@ -120,7 +123,7 @@ def permute_state(
     """
     n = current.num_qubits
     if state.size != 1 << n:
-        raise ValueError("state size does not match layout")
+        raise StateValidationError("state size does not match layout")
     cur_map = current.logical_to_physical()
     if cur_map == target:
         return state
@@ -133,7 +136,7 @@ def permute_state(
     permuted = np.transpose(tensor, axes=axes)
     if out is not None:
         if out.size != state.size:
-            raise ValueError("out size does not match state")
+            raise StateValidationError("out size does not match state")
         np.copyto(out.reshape(permuted.shape), permuted)
         return out
     return np.ascontiguousarray(permuted).reshape(-1)
@@ -151,6 +154,8 @@ def shard_slices(state: np.ndarray, local_qubits: int) -> list[np.ndarray]:
     """
     shard_size = 1 << local_qubits
     if state.size % shard_size != 0:
-        raise ValueError("state size is not a multiple of the shard size")
+        raise StateValidationError(
+            "state size is not a multiple of the shard size"
+        )
     num_shards = state.size // shard_size
     return [state[j * shard_size : (j + 1) * shard_size] for j in range(num_shards)]

@@ -421,7 +421,7 @@ def make_backend(name: str) -> ExecutionBackend:
     try:
         factory = BACKENDS[name]
     except KeyError as exc:
-        raise ValueError(
+        raise ValueError(  # lint: config-error
             f"unknown backend {name!r}; known: {available_backends()}"
         ) from exc
     backend = factory()

@@ -38,7 +38,7 @@ from ..circuits.circuit import Circuit
 from ..core.kernel import Kernel, KernelSequence
 from ..core.partitioner import PartitionReport
 from ..core.plan import ExecutionPlan, Stage
-from ..errors import CacheCorruptionError
+from ..errors import CacheCorruptionError, PlanValidationError
 
 __all__ = [
     "CacheStats",
@@ -150,7 +150,7 @@ class PlanCache:
 
     def __init__(self, maxsize: int = 128):
         if maxsize < 1:
-            raise ValueError("maxsize must be at least 1")
+            raise ValueError("maxsize must be at least 1")  # lint: config-error
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple, tuple] = OrderedDict()
         self.stats = CacheStats()
@@ -229,11 +229,11 @@ def rebind_plan(plan: ExecutionPlan, circuit: Circuit) -> ExecutionPlan:
     always the new circuit's.  The cached plan is not modified.
     """
     if plan.num_qubits != circuit.num_qubits:
-        raise ValueError(
+        raise PlanValidationError(
             f"plan spans {plan.num_qubits} qubits, circuit has {circuit.num_qubits}"
         )
     if plan.gate_count() != len(circuit):
-        raise ValueError(
+        raise PlanValidationError(
             f"plan covers {plan.gate_count()} gates, circuit has {len(circuit)}"
         )
     stages = []

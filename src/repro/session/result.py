@@ -45,7 +45,7 @@ def normalize_observable(observable) -> tuple[int, ...]:
         for term in observable.lower().split("*"):
             term = term.strip()
             if not term.startswith("z") or not term[1:].isdigit():
-                raise ValueError(
+                raise ValueError(  # lint: config-error
                     f"unsupported observable {observable!r}; expected e.g. 'z0' or 'z0*z3'"
                 )
             qubits.append(int(term[1:]))
@@ -53,7 +53,7 @@ def normalize_observable(observable) -> tuple[int, ...]:
         try:
             qubits = [int(q) for q in observable]
         except TypeError as exc:
-            raise ValueError(f"unsupported observable spec {observable!r}") from exc
+            raise ValueError(f"unsupported observable spec {observable!r}") from exc  # lint: config-error
     odd = {q for q in set(qubits) if qubits.count(q) % 2}
     return tuple(sorted(odd))
 
@@ -108,7 +108,7 @@ class Result:
     def counts(self) -> dict[int, int]:
         """Histogram of sampled basis-state indices (requires ``shots``)."""
         if self.samples is None:
-            raise ValueError("no samples: run with shots=...")
+            raise ValueError("no samples: run with shots=...")  # lint: config-error
         return dict(Counter(int(s) for s in self.samples))
 
     def summary(self) -> dict:
@@ -158,7 +158,7 @@ class Job:
     def result(self) -> Result:
         """The single result of a one-circuit job."""
         if len(self.results) != 1:
-            raise ValueError(
+            raise ValueError(  # lint: config-error
                 f"job has {len(self.results)} results; index it or iterate"
             )
         return self.results[0]

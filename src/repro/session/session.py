@@ -127,6 +127,9 @@ class SessionStats:
     quarantined_workers: int = 0
     faults_injected: int = 0
     cache_corruptions: int = 0
+    #: Static-verification passes run over plans/programs/schedules
+    #: (``Session(check="plans"|"full")``; zero when checking is off).
+    static_checks: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -158,6 +161,7 @@ class SessionStats:
             "quarantined_workers": self.quarantined_workers,
             "faults_injected": self.faults_injected,
             "cache_corruptions": self.cache_corruptions,
+            "static_checks": self.static_checks,
         }
 
 
@@ -213,6 +217,15 @@ class Session:
         chain (``incore`` → ``offload`` → ``parallel``) or rejected with
         :class:`~repro.errors.AdmissionError`.  ``None`` disables the
         check.
+    check:
+        Static-verification mode (see ``docs/static-analysis.md``):
+        ``"off"`` (default — a single branch, no other overhead) runs no
+        checks; ``"plans"`` verifies every plan leaving :meth:`plan_for`
+        (:func:`repro.check.verify_plan`); ``"full"`` additionally
+        verifies compiled op streams (:func:`repro.check.verify_program`)
+        and, on the sharded backends, the parallel shard schedule
+        (:func:`repro.check.verify_schedule`).  Violations raise
+        :class:`~repro.errors.StaticCheckError` before anything executes.
 
     Use as a context manager (or call :meth:`close`) to release
     backend-owned worker pools and buffers.  :meth:`close` is idempotent;
@@ -235,11 +248,16 @@ class Session:
         faults: "object | None" = None,
         degrade: bool = True,
         memory_budget_bytes: int | None = None,
+        check: str = "off",
     ):
         if backend != "auto" and backend not in BACKENDS:
-            raise ValueError(
+            raise ValueError(  # lint: config-error
                 f"unknown backend {backend!r}; known: "
                 f"{['auto'] + sorted(BACKENDS)}"
+            )
+        if check not in ("off", "plans", "full"):
+            raise ValueError(  # lint: config-error
+                f"unknown check mode {check!r}; known: ['off', 'plans', 'full']"
             )
         self.machine = machine
         self.backend = backend
@@ -252,7 +270,7 @@ class Session:
         )
         if legacy_given:
             if planner is not None:
-                raise ValueError(
+                raise ValueError(  # lint: config-error
                     "pass planner=... or the legacy stager/kernelizer/"
                     "kernelize_config/ilp_time_limit knobs, not both"
                 )
@@ -274,6 +292,7 @@ class Session:
         self.retry = retry
         self.degrade = degrade
         self.memory_budget_bytes = memory_budget_bytes
+        self.check = check
         self._injector = FaultInjector(faults) if faults is not None else None
         #: Session-level degradations (backend chain, planner fallback,
         #: program-compile fallback, cache evict-and-replan); backend-level
@@ -335,7 +354,7 @@ class Session:
         if name == "auto":
             return select_auto_backend(machine, num_qubits)
         if name not in BACKENDS:
-            raise ValueError(
+            raise ValueError(  # lint: config-error
                 f"unknown backend {name!r}; known: {['auto'] + sorted(BACKENDS)}"
             )
         return name
@@ -343,7 +362,7 @@ class Session:
     def _resolve_machine(self, machine: MachineConfig | None) -> MachineConfig:
         resolved = machine if machine is not None else self.machine
         if resolved is None:
-            raise ValueError(
+            raise ValueError(  # lint: config-error
                 "no machine: pass machine= to Session(...) or to run(...)"
             )
         return resolved
@@ -569,6 +588,8 @@ class Session:
                     # backend's uncompiled path instead of failing it.
                     program = None
                     self._session_fallbacks += 1
+            if self.check != "off":
+                self._static_check(rebound, machine, circuit, program, backend_name)
             return rebound, None, True, schedule_key, program
         self.stats.cache_misses += 1
 
@@ -597,7 +618,57 @@ class Session:
                 program = None
                 self._session_fallbacks += 1
         self.cache.put(key, plan, report, program)
+        if self.check != "off":
+            self._static_check(plan, machine, circuit, program, backend_name)
         return plan, report, False, schedule_key, program
+
+    #: Backends whose execution shards the state across workers — the ones
+    #: whose schedules the ``check="full"`` race detector verifies.
+    _SHARDED_BACKENDS = ("offload", "parallel")
+
+    def _static_check(
+        self,
+        plan: ExecutionPlan,
+        machine: MachineConfig,
+        circuit: Circuit,
+        program: "CompiledProgram | None",
+        backend_name: str,
+    ) -> None:
+        """Run the configured static checks; raise
+        :class:`~repro.errors.StaticCheckError` on the first failed report.
+
+        ``"plans"`` verifies the plan IR; ``"full"`` additionally verifies
+        the compiled op stream (when one was built) and — on the sharded
+        backends — the shard schedule's write exclusivity.  The machine's
+        locality bound applies only where execution shards the state;
+        in-core backends verify against each stage's own partition.
+        """
+        from ..check import verify_plan, verify_program, verify_schedule
+
+        sharded = (
+            backend_name in self._SHARDED_BACKENDS
+            and machine.local_qubits < plan.num_qubits
+        )
+        self.stats.static_checks += 1
+        report = verify_plan(
+            plan, machine=machine if sharded else None, circuit=circuit
+        )
+        if self.check == "full":
+            if program is not None:
+                report.merge(
+                    verify_program(
+                        program, plan=plan,
+                        machine=machine if sharded else None,
+                    )
+                )
+            if sharded:
+                num_shards = 1 << (plan.num_qubits - machine.local_qubits)
+                report.merge(
+                    verify_schedule(
+                        plan, machine, num_workers=min(4, num_shards)
+                    )
+                )
+        report.raise_if_failed()
 
     def _plan_with_fallback(
         self, circuit: Circuit, machine: MachineConfig, manager: PassManager
@@ -703,9 +774,9 @@ class Session:
         single = isinstance(circuits, Circuit)
         circuit_list = [circuits] if single else list(circuits)
         if not circuit_list:
-            raise ValueError("no circuits to run")
+            raise ValueError("no circuits to run")  # lint: config-error
         if not execute and (shots is not None or observables):
-            raise ValueError(
+            raise ValueError(  # lint: config-error
                 "shots/observables need a functional execution; drop them or "
                 "run with execute=True"
             )
@@ -714,14 +785,14 @@ class Session:
             machine.validate(circuit.num_qubits)
 
         if initial_state is not None and initial_states is not None:
-            raise ValueError("pass initial_state or initial_states, not both")
+            raise ValueError("pass initial_state or initial_states, not both")  # lint: config-error
         if initial_states is not None:
             initial_states = list(initial_states)
             if single:
                 # One circuit fanned out over many starting states.
                 circuit_list = circuit_list * len(initial_states)
             elif len(initial_states) != len(circuit_list):
-                raise ValueError(
+                raise ValueError(  # lint: config-error
                     f"{len(circuit_list)} circuits but "
                     f"{len(initial_states)} initial states"
                 )

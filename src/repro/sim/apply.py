@@ -255,13 +255,13 @@ def _validate(state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int]) -> i
     k = len(qubits)
     n = int(state.size).bit_length() - 1
     if state.size != 1 << n:
-        raise ValueError("state length is not a power of two")
+        raise ValueError("state length is not a power of two")  # lint: config-error
     if matrix.shape != (1 << k, 1 << k):
-        raise ValueError(f"matrix shape {matrix.shape} does not match {k} qubits")
+        raise ValueError(f"matrix shape {matrix.shape} does not match {k} qubits")  # lint: config-error
     if any(not 0 <= q < n for q in qubits):
-        raise ValueError(f"qubit indices {qubits} out of range for {n} qubits")
+        raise ValueError(f"qubit indices {qubits} out of range for {n} qubits")  # lint: config-error
     if len(set(qubits)) != k:
-        raise ValueError("duplicate qubits")
+        raise ValueError("duplicate qubits")  # lint: config-error
     return n
 
 
@@ -761,7 +761,7 @@ def apply_matrix(
     """
     n = _validate(state, matrix, qubits)
     if out is not None and out.size != state.size:
-        raise ValueError(
+        raise ValueError(  # lint: config-error
             f"out has {out.size} amplitudes, expected {state.size}"
         )
     info = analyze_matrix(matrix)
@@ -928,9 +928,9 @@ def apply_diagonal(
     k = len(qubits)
     n = int(state.size).bit_length() - 1
     if state.size != 1 << n:
-        raise ValueError("state length is not a power of two")
+        raise ValueError("state length is not a power of two")  # lint: config-error
     if diagonal.size != 1 << k:
-        raise ValueError("diagonal length does not match qubit count")
+        raise ValueError("diagonal length does not match qubit count")  # lint: config-error
     tensor = state.reshape((2,) * n)
     diag_b = _diag_broadcast(diagonal, n, qubits)
     if out is state:
@@ -939,7 +939,7 @@ def apply_diagonal(
     if out is None:
         out = tracked_empty(state.size)
     elif out.size != state.size:
-        raise ValueError(f"out has {out.size} amplitudes, expected {state.size}")
+        raise ValueError(f"out has {out.size} amplitudes, expected {state.size}")  # lint: config-error
     np.multiply(tensor, diag_b, out=out.reshape(tensor.shape))
     return out
 
@@ -987,11 +987,11 @@ def expand_matrix(
     target = list(target_qubits)
     missing = [q for q in gate_qubits if q not in target]
     if missing:
-        raise ValueError(f"gate qubits {missing} not contained in target {target}")
+        raise ValueError(f"gate qubits {missing} not contained in target {target}")  # lint: config-error
     k = len(gate_qubits)
     m = len(target)
     if matrix.shape != (1 << k, 1 << k):
-        raise ValueError("matrix shape does not match gate qubits")
+        raise ValueError("matrix shape does not match gate qubits")  # lint: config-error
 
     # Positions of the gate qubits within the target ordering.
     pos = [target.index(q) for q in gate_qubits]

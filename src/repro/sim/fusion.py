@@ -102,7 +102,7 @@ class FusionCache:
 
     def __init__(self, maxsize: int = 1024):
         if maxsize < 1:
-            raise ValueError("maxsize must be at least 1")
+            raise ValueError("maxsize must be at least 1")  # lint: config-error
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple, tuple[np.ndarray, tuple[int, ...]]] = (
             OrderedDict()
@@ -169,7 +169,7 @@ def configure_fusion_cache(maxsize: int | None = None, clear: bool = False) -> N
     """
     if maxsize is not None:
         if maxsize < 1:
-            raise ValueError("maxsize must be at least 1")
+            raise ValueError("maxsize must be at least 1")  # lint: config-error
         _FUSION_CACHE.maxsize = maxsize
     if clear:
         _FUSION_CACHE.clear()

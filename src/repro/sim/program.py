@@ -33,10 +33,11 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
+from ..errors import StateValidationError
 from .apply import (
     MatrixInfo,
     _basis_views,
@@ -58,6 +59,8 @@ from .statevector import StateVector
 __all__ = [
     "CompiledOp",
     "CompiledProgram",
+    "INPLACE_KINDS",
+    "STREAM_KINDS",
     "Workspace",
     "compile_unitary_op",
     "compile_layout_op",
@@ -156,7 +159,12 @@ class Workspace:
             self._tmps.move_to_end(key)
         return buf
 
-    def views(self, token: object, buf: np.ndarray, build):
+    def views(
+        self,
+        token: object,
+        buf: np.ndarray,
+        build: "Callable[[np.ndarray], tuple[np.ndarray, ...]]",
+    ) -> tuple[np.ndarray, ...]:
         """Memoized slice views of *buf* for the op identified by *token*.
 
         A program's ping-pong buffers (and a shard worker's device
@@ -221,6 +229,15 @@ def release_thread_workspace() -> None:
         _WS_TLS.ws = None
 
 
+#: Buffer discipline per op kind: structured kinds update the state buffer
+#: in place; streaming kinds read the state buffer and write the scratch
+#: buffer in full, swapping the ping-pong roles.  The static verifier
+#: (:mod:`repro.check`) proves each op's declared ``mode`` against this
+#: table without executing anything.
+INPLACE_KINDS = frozenset({"diagonal", "permutation", "controlled"})
+STREAM_KINDS = frozenset({"dense", "big", "layout"})
+
+
 class CompiledOp:
     """One fully-resolved operation of a compiled stream.
 
@@ -232,16 +249,42 @@ class CompiledOp:
     gate objects its payload was resolved from — the rebind machinery
     reuses an op verbatim when a structurally identical plan binds equal
     gates at the same source.
+
+    The remaining slots are *static metadata* mirroring what the closures
+    actually do, consumed by :mod:`repro.check` to verify the stream
+    without executing it: ``mode`` declares the ping-pong discipline
+    (``"inplace"`` or ``"stream"``), ``qubits`` the physical qubit
+    positions the payload touches (``None`` for whole-state layout ops)
+    and ``tmp_slots`` the workspace temporary slots the closures borrow
+    (slots must never alias within one op).
     """
 
-    __slots__ = ("kind", "run", "run_batched", "source", "gates")
+    __slots__ = (
+        "kind", "run", "run_batched", "source", "gates",
+        "mode", "qubits", "tmp_slots",
+    )
 
-    def __init__(self, kind, run, run_batched, source=None, gates=None):
+    def __init__(
+        self,
+        kind: str,
+        run: "Callable[..., tuple[np.ndarray, np.ndarray]]",
+        run_batched: "Callable[..., tuple[np.ndarray, np.ndarray]]",
+        source: tuple | None = None,
+        gates: "tuple | None" = None,
+        mode: str | None = None,
+        qubits: tuple[int, ...] | None = None,
+        tmp_slots: tuple[int, ...] = (),
+    ) -> None:
         self.kind = kind
         self.run = run
         self.run_batched = run_batched
         self.source = source
         self.gates = gates
+        self.mode = mode if mode is not None else (
+            "inplace" if kind in INPLACE_KINDS else "stream"
+        )
+        self.qubits = qubits
+        self.tmp_slots = tmp_slots
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<CompiledOp {self.kind} source={self.source}>"
@@ -308,8 +351,8 @@ def compile_unitary_op(
     matrix: np.ndarray,
     qubits: Sequence[int],
     n: int,
-    source=None,
-    gates=None,
+    source: tuple | None = None,
+    gates: "tuple | None" = None,
 ) -> CompiledOp:
     """Lower one unitary application to a :class:`CompiledOp`.
 
@@ -333,7 +376,9 @@ def compile_unitary_op(
     return _big_op(matrix, qubits, n, source, gates)
 
 
-def _diag_op(info: MatrixInfo, qubits, n, source, gates) -> CompiledOp:
+def _diag_op(
+    info: MatrixInfo, qubits: Sequence[int], n: int, source: tuple | None, gates: "tuple | None"
+) -> CompiledOp:
     diag_b = _diag_broadcast(info.diagonal, n, qubits)
     shape = (2,) * n
     bshape = (-1,) + shape
@@ -348,7 +393,7 @@ def _diag_op(info: MatrixInfo, qubits, n, source, gates) -> CompiledOp:
         np.multiply(t, diag_b, out=t)
         return states, scratch
 
-    return CompiledOp("diagonal", run, run_batched, source, gates)
+    return CompiledOp("diagonal", run, run_batched, source, gates, qubits=qubits)
 
 
 def _compile_permutation_moves(
@@ -407,7 +452,9 @@ def _run_moves(views, moves, tmp) -> None:
             views[a] *= phase
 
 
-def _perm_op(info: MatrixInfo, qubits, n, source, gates) -> CompiledOp:
+def _perm_op(
+    info: MatrixInfo, qubits: Sequence[int], n: int, source: tuple | None, gates: "tuple | None"
+) -> CompiledOp:
     moves = _compile_permutation_moves(info.perm, info.phases)
     shape = (2,) * n
     view_size = 1 << (n - len(qubits))
@@ -433,10 +480,15 @@ def _perm_op(info: MatrixInfo, qubits, n, source, gates) -> CompiledOp:
         _run_moves(views, moves, tmp)
         return states, scratch
 
-    return CompiledOp("permutation", run, run_batched, source, gates)
+    return CompiledOp(
+        "permutation", run, run_batched, source, gates,
+        qubits=tuple(qubits), tmp_slots=(1,),
+    )
 
 
-def _controlled_op(info: MatrixInfo, qubits, n, source, gates) -> CompiledOp:
+def _controlled_op(
+    info: MatrixInfo, qubits: Sequence[int], n: int, source: tuple | None, gates: "tuple | None"
+) -> CompiledOp:
     red = info.reduced_info
     reduced_matrix = info.reduced_matrix
     target_qubits = [qubits[p] for p in info.targets]
@@ -467,7 +519,10 @@ def _controlled_op(info: MatrixInfo, qubits, n, source, gates) -> CompiledOp:
             )
             return states, scratch
 
-        return CompiledOp("controlled", run, run_batched, source, gates)
+        return CompiledOp(
+            "controlled", run, run_batched, source, gates,
+            qubits=tuple(qubits), tmp_slots=(0,),
+        )
 
     ctrl_axes = [qubit_axis(n, qubits[p]) for p in info.controls]
     shape = (2,) * n
@@ -519,10 +574,15 @@ def _controlled_op(info: MatrixInfo, qubits, n, source, gates) -> CompiledOp:
         )
         return states, scratch
 
-    return CompiledOp("controlled", run, run_batched, source, gates)
+    return CompiledOp(
+        "controlled", run, run_batched, source, gates,
+        qubits=tuple(qubits), tmp_slots=(0, 1),
+    )
 
 
-def _dense_op(matrix, qubits, n, source, gates) -> CompiledOp:
+def _dense_op(
+    matrix: np.ndarray, qubits: Sequence[int], n: int, source: tuple | None, gates: "tuple | None"
+) -> CompiledOp:
     plan = _dense_plan(matrix, n, qubits)
     needs_tmp = plan[0] in ("split_stacked", "split_gemm")
 
@@ -535,10 +595,15 @@ def _dense_op(matrix, qubits, n, source, gates) -> CompiledOp:
         run_dense_plan_batched(plan, states, scratch, ws)
         return scratch, states
 
-    return CompiledOp("dense", run, run_batched, source, gates)
+    return CompiledOp(
+        "dense", run, run_batched, source, gates,
+        qubits=tuple(qubits), tmp_slots=(1,) if needs_tmp else (),
+    )
 
 
-def _big_op(matrix, qubits, n, source, gates) -> CompiledOp:
+def _big_op(
+    matrix: np.ndarray, qubits: Sequence[int], n: int, source: tuple | None, gates: "tuple | None"
+) -> CompiledOp:
     # Genuinely scattered wide matrix: the tensordot fallback (the one op
     # kind whose application is not allocation-free — tensordot builds its
     # own result; the cost is logged, matching the interpreted path).
@@ -551,10 +616,12 @@ def _big_op(matrix, qubits, n, source, gates) -> CompiledOp:
             _big_to_out(states[b], matrix, qubits, n, scratch[b])
         return scratch, states
 
-    return CompiledOp("big", run, run_batched, source, gates)
+    return CompiledOp("big", run, run_batched, source, gates, qubits=tuple(qubits))
 
 
-def compile_layout_op(axes: Sequence[int], n: int, source=None) -> CompiledOp:
+def compile_layout_op(
+    axes: Sequence[int], n: int, source: tuple | None = None
+) -> CompiledOp:
     """A stage-boundary layout permutation as a precomputed axis transpose.
 
     *axes* is the tensor-axis permutation produced by
@@ -575,7 +642,7 @@ def compile_layout_op(axes: Sequence[int], n: int, source=None) -> CompiledOp:
         np.copyto(scratch.reshape(permuted.shape), permuted)
         return scratch, states
 
-    return CompiledOp("layout", run, run_batched, source, None)
+    return CompiledOp("layout", run, run_batched, source, None, qubits=None)
 
 
 # ---------------------------------------------------------------------------
@@ -614,7 +681,7 @@ class CompiledProgram:
         locality_checked: bool = True,
         ops_reused: int = 0,
         provenance: dict | None = None,
-    ):
+    ) -> None:
         self.num_qubits = num_qubits
         self.ops = ops
         self.workspace = workspace if workspace is not None else Workspace()
@@ -644,19 +711,23 @@ class CompiledProgram:
     # Execution
     # ------------------------------------------------------------------
 
-    def _load(self, buf: np.ndarray, initial_state) -> None:
+    def _load(
+        self, buf: np.ndarray, initial_state: "StateVector | np.ndarray | None"
+    ) -> None:
         if initial_state is None:
             buf[:] = 0.0
             buf.reshape(-1)[0] = 1.0
             return
         if isinstance(initial_state, StateVector):
             if initial_state.num_qubits != self.num_qubits:
-                raise ValueError("initial state size does not match program")
+                raise StateValidationError(
+                    "initial state size does not match program"
+                )
             initial_state.copy_into(buf)
             return
         data = np.asarray(initial_state)
         if data.size != buf.size:
-            raise ValueError("initial state size does not match program")
+            raise StateValidationError("initial state size does not match program")
         np.copyto(buf, data.reshape(buf.shape))
 
     def run_view(
@@ -703,7 +774,7 @@ class CompiledProgram:
         workspace batch buffer (invalidated by the next run)."""
         batch = len(initial_states)
         if batch == 0:
-            raise ValueError("empty batch")
+            raise ValueError("empty batch")  # lint: config-error
         ws = workspace if workspace is not None else self.workspace
         size = 1 << self.num_qubits
         pair = ws.pair2d(batch, size)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..circuits.circuit import Circuit
+from ..errors import StateValidationError
 from .statevector import StateVector
 
 __all__ = ["simulate_reference"]
@@ -32,7 +33,7 @@ def simulate_reference(circuit: Circuit, initial_state: StateVector | None = Non
         state = StateVector.zero_state(circuit.num_qubits)
     else:
         if initial_state.num_qubits != circuit.num_qubits:
-            raise ValueError("initial state size does not match circuit")
+            raise StateValidationError("initial state size does not match circuit")
         state = initial_state.copy()
     for gate in circuit:
         state.apply_gate(gate)

@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..circuits.gates import Gate
+from ..errors import StateValidationError
 from .apply import apply_diagonal, apply_gate_buffered, tracked_empty
 
 __all__ = ["StateVector"]
@@ -24,7 +25,7 @@ class StateVector:
 
     def __init__(self, num_qubits: int, data: np.ndarray | None = None):
         if num_qubits < 1:
-            raise ValueError("num_qubits must be >= 1")
+            raise ValueError("num_qubits must be >= 1")  # lint: config-error
         self.num_qubits = int(num_qubits)
         dim = 1 << self.num_qubits
         if data is None:
@@ -33,7 +34,7 @@ class StateVector:
         else:
             data = np.asarray(data, dtype=np.complex128)
             if data.size != dim:
-                raise ValueError(
+                raise StateValidationError(
                     f"data has {data.size} amplitudes, expected {dim}"
                 )
             self._data = np.ascontiguousarray(data.reshape(-1))
@@ -55,7 +56,7 @@ class StateVector:
         """Computational basis state |index>."""
         dim = 1 << num_qubits
         if not 0 <= index < dim:
-            raise ValueError(f"basis index {index} out of range")
+            raise ValueError(f"basis index {index} out of range")  # lint: config-error
         data = np.zeros(dim, dtype=np.complex128)
         data[index] = 1.0
         return cls(num_qubits, data)
@@ -95,7 +96,7 @@ class StateVector:
         :attr:`data`, the snapshot stays valid when this state mutates.
         """
         if out.size != self._data.size:
-            raise ValueError(
+            raise StateValidationError(
                 f"out has {out.size} amplitudes, expected {self._data.size}"
             )
         # Write through *out* itself (reshaping the source, which is always
@@ -185,7 +186,7 @@ class StateVector:
         mask = 0
         for q in qubits:
             if not 0 <= q < self.num_qubits:
-                raise ValueError(f"qubit {q} out of range [0, {self.num_qubits})")
+                raise ValueError(f"qubit {q} out of range [0, {self.num_qubits})")  # lint: config-error
             mask ^= 1 << q
         if not mask:
             return 1.0
@@ -220,7 +221,7 @@ class StateVector:
             rng = np.random.default_rng(seed)
         cdf = np.cumsum(self.probabilities())
         if cdf[-1] <= 0.0:
-            raise ValueError("cannot sample from a zero-norm state")
+            raise ValueError("cannot sample from a zero-norm state")  # lint: config-error
         uniform = rng.random(shots) * cdf[-1]
         # A draw landing exactly on cdf[-1] would index past the end.
         return np.minimum(
@@ -234,7 +235,7 @@ class StateVector:
     def fidelity(self, other: "StateVector") -> float:
         """|<self|other>|^2."""
         if other.num_qubits != self.num_qubits:
-            raise ValueError("qubit counts differ")
+            raise StateValidationError("qubit counts differ")
         return float(abs(np.vdot(self._data, other._data)) ** 2)
 
     def allclose(self, other: "StateVector", atol: float = 1e-9, up_to_global_phase: bool = True) -> bool:

@@ -1,0 +1,625 @@
+"""Static verification layer: seeded-defect mutations, clean sweeps,
+differential tests against the executors, Session wiring and the project
+lint gate.
+
+The heart of this file is the mutation table: every entry plants one
+defect in a freshly-built plan / compiled program / shard schedule that a
+*dynamic* test might miss (or catch only probabilistically) and asserts
+the static verifier rejects it with the documented rule.  A handful of
+the mutations are additionally executed to demonstrate they really do
+misexecute — the checks are not style opinions, they gate real bugs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib.util
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    CheckReport,
+    Violation,
+    expected_op_stream,
+    round_robin_assignment,
+    shard_write_map,
+    verify_plan,
+    verify_program,
+    verify_schedule,
+)
+from repro.circuits import make_gate
+from repro.circuits.library import CIRCUIT_FAMILIES, get_circuit, qft
+from repro.cluster import MachineConfig
+from repro.core import partition
+from repro.core.plan import QubitPartition
+from repro.errors import PlanValidationError, StaticCheckError
+from repro.planner import build_plan
+from repro.runtime import compile_plan
+from repro.runtime.offload import _gate_on_shard
+from repro.session import Session
+from repro.sim import simulate_reference
+
+REPO = Path(__file__).resolve().parent.parent
+
+N = 6
+LOCAL = 4
+NUM_SHARDS = 1 << (N - LOCAL)
+
+
+def fresh_machine() -> MachineConfig:
+    return MachineConfig.for_circuit(N, local_qubits=LOCAL, num_shards=4)
+
+
+def fresh_plan():
+    machine = fresh_machine()
+    plan, _report = partition(qft(N), machine)
+    return plan, machine
+
+
+def fresh_program():
+    plan, machine = fresh_plan()
+    return compile_plan(plan, machine), plan, machine
+
+
+def first_gate_op_index(program) -> int:
+    return next(
+        i for i, op in enumerate(program.ops)
+        if op.source and op.source[0] in ("gate", "sm", "kernel")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Seeded-defect mutations: every planted bug must be rejected statically
+# with its documented rule.
+# ---------------------------------------------------------------------------
+
+
+def mutate_plan_oob_qubit(plan):
+    plan.stages[0].gates[0] = make_gate("x", [plan.num_qubits + 5])
+
+
+def mutate_plan_locality(plan):
+    for stage in plan.stages:
+        for gate in stage.gates:
+            non_insular = set(gate.non_insular_qubits())
+            if non_insular:
+                q = sorted(non_insular)[0]
+                part = stage.partition
+                stage.partition = QubitPartition.from_sets(
+                    set(part.local) - {q},
+                    set(part.regional),
+                    set(part.global_) | {q},
+                )
+                return
+    raise AssertionError("no stage holds a gate with non-insular qubits")
+
+
+def mutate_plan_gate_dropped(plan):
+    del plan.stages[0].gates[0]
+    del plan.stages[0].gate_indices[0]
+
+
+def mutate_plan_gate_duplicated(plan):
+    stage = plan.stages[0]
+    stage.gates.append(stage.gates[0])
+    stage.gate_indices.append(stage.gate_indices[0])
+
+
+def mutate_plan_dependency_reorder(plan, circuit):
+    first, last = plan.stages[0], plan.stages[-1]
+    for a, i in enumerate(first.gate_indices):
+        for b, j in enumerate(last.gate_indices):
+            if i < j and set(circuit.gates[i].qubits) & set(circuit.gates[j].qubits):
+                first.gate_indices[a], last.gate_indices[b] = j, i
+                return
+    raise AssertionError("no dependent gate pair spans the first/last stages")
+
+
+def mutate_plan_partition_gap(plan):
+    stage = plan.stages[0]
+    part = stage.partition
+    q = part.local[0]
+    stage.partition = QubitPartition.from_sets(
+        set(part.local) - {q}, set(part.regional), set(part.global_)
+    )
+
+
+def mutate_plan_kernel_gate_dropped(plan):
+    for stage in plan.stages:
+        if stage.kernels is not None and stage.kernels.kernels:
+            kernel = stage.kernels.kernels[0]
+            stage.kernels.kernels[0] = dataclasses.replace(
+                kernel,
+                gates=kernel.gates[1:],
+                gate_indices=kernel.gate_indices[1:],
+            )
+            return
+    raise AssertionError("no kernelized stage to mutate")
+
+
+PLAN_MUTATIONS = [
+    ("oob-qubit", mutate_plan_oob_qubit, "plan.qubit-bounds"),
+    ("locality", mutate_plan_locality, "plan.locality"),
+    ("gate-dropped", mutate_plan_gate_dropped, "plan.coverage"),
+    ("gate-duplicated", mutate_plan_gate_duplicated, "plan.coverage"),
+    ("dependency-reorder", mutate_plan_dependency_reorder, "plan.dependencies"),
+    ("partition-gap", mutate_plan_partition_gap, "plan.partition"),
+    ("kernel-gate-dropped", mutate_plan_kernel_gate_dropped, "plan.kernel-consistency"),
+]
+
+
+def mutate_program_op_dropped(program):
+    del program.ops[first_gate_op_index(program)]
+
+
+def mutate_program_op_duplicated(program):
+    idx = first_gate_op_index(program)
+    program.ops.insert(idx, program.ops[idx])
+
+
+def mutate_program_op_reordered(program):
+    gate_ops = [
+        i for i, op in enumerate(program.ops)
+        if op.source and op.source[0] in ("gate", "sm", "kernel")
+    ]
+    a, b = gate_ops[0], gate_ops[-1]
+    program.ops[a], program.ops[b] = program.ops[b], program.ops[a]
+
+
+def mutate_program_mode_swapped(program):
+    for op in program.ops:
+        if op.mode == "inplace":
+            op.mode = "stream"
+            return
+    raise AssertionError("no in-place op to mutate")
+
+
+def mutate_program_tmp_alias(program):
+    program.ops[first_gate_op_index(program)].tmp_slots = (1, 1)
+
+
+def mutate_program_oob_qubits(program):
+    op = program.ops[first_gate_op_index(program)]
+    op.qubits = (program.num_qubits + 4,)
+
+
+PROGRAM_MUTATIONS = [
+    ("op-dropped", mutate_program_op_dropped, "program.stream"),
+    ("op-duplicated", mutate_program_op_duplicated, "program.stream"),
+    ("op-reordered", mutate_program_op_reordered, "program.stream"),
+    ("mode-swapped", mutate_program_mode_swapped, "program.parity"),
+    ("tmp-alias", mutate_program_tmp_alias, "program.tmp-alias"),
+    ("oob-qubits", mutate_program_oob_qubits, "program.qubit-bounds"),
+]
+
+SCHEDULE_MUTATIONS = [
+    (
+        "shared-shard",
+        {0: [0, 1, 2], 1: [2, 3]},
+        "schedule.duplicate-assignment",
+    ),
+    (
+        "double-assignment",
+        {0: [0, 0, 1], 1: [2, 3]},
+        "schedule.duplicate-assignment",
+    ),
+    ("orphan-shard", {0: [0], 1: [1]}, "schedule.orphan-shard"),
+    ("out-of-range", {0: [0, 1, 2, 3, 7]}, "schedule.out-of-range"),
+]
+
+
+def rules_of(report: CheckReport) -> set[str]:
+    return {v.rule for v in report.violations}
+
+
+class TestSeededDefects:
+    @pytest.mark.parametrize(
+        "name,mutate,rule", PLAN_MUTATIONS, ids=[m[0] for m in PLAN_MUTATIONS]
+    )
+    def test_plan_mutation_rejected(self, name, mutate, rule):
+        circuit = qft(N)
+        machine = fresh_machine()
+        plan, _ = partition(circuit, machine)
+        assert verify_plan(plan, machine=machine, circuit=circuit).ok
+        if name == "dependency-reorder":
+            mutate(plan, circuit)
+        else:
+            mutate(plan)
+        report = verify_plan(plan, machine=machine, circuit=circuit)
+        assert not report.ok
+        assert rule in rules_of(report), report.summary()
+        with pytest.raises(StaticCheckError) as exc_info:
+            report.raise_if_failed()
+        assert exc_info.value.report is report
+        assert exc_info.value.context["target"] == "plan"
+
+    @pytest.mark.parametrize(
+        "name,mutate,rule", PROGRAM_MUTATIONS, ids=[m[0] for m in PROGRAM_MUTATIONS]
+    )
+    def test_program_mutation_rejected(self, name, mutate, rule):
+        program, plan, machine = fresh_program()
+        assert verify_program(program, plan=plan, machine=machine).ok
+        mutate(program)
+        report = verify_program(program, plan=plan, machine=machine)
+        assert not report.ok
+        assert rule in rules_of(report), report.summary()
+
+    @pytest.mark.parametrize(
+        "name,assignment,rule",
+        SCHEDULE_MUTATIONS,
+        ids=[m[0] for m in SCHEDULE_MUTATIONS],
+    )
+    def test_schedule_mutation_rejected(self, name, assignment, rule):
+        plan, machine = fresh_plan()
+        assert verify_schedule(plan, machine, num_workers=2).ok
+        report = verify_schedule(plan, machine, assignments=assignment)
+        assert not report.ok
+        assert rule in rules_of(report), report.summary()
+
+    def test_mode_swap_reports_stale_read(self):
+        program, plan, machine = fresh_program()
+        mutate_program_mode_swapped(program)
+        report = verify_program(program)
+        assert "program.parity" in rules_of(report)
+        assert "program.uninitialized-read" in rules_of(report)
+
+
+class TestMisexecutionDemos:
+    """A sample of the planted program defects, actually executed: the
+    mutated stream produces a state the reference oracle rejects — the
+    static rule gates a real misexecution, not a formality."""
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [mutate_program_op_dropped, mutate_program_op_duplicated],
+        ids=["op-dropped", "op-duplicated"],
+    )
+    def test_stream_mutation_misexecutes(self, mutate):
+        program, plan, machine = fresh_program()
+        mutate(program)
+        assert not verify_program(program, plan=plan, machine=machine).ok
+        assert not simulate_reference(qft(N)).allclose(program.run())
+
+    def test_reorder_misexecutes(self):
+        reference = simulate_reference(qft(N))
+        program, plan, machine = fresh_program()
+        gate_ops = [
+            i for i, op in enumerate(program.ops)
+            if op.source and op.source[0] in ("gate", "sm", "kernel")
+        ]
+        for a in gate_ops:
+            for b in gate_ops:
+                if b <= a:
+                    continue
+                qa = {q for g in (program.ops[a].gates or ()) for q in g.qubits}
+                qb = {q for g in (program.ops[b].gates or ()) for q in g.qubits}
+                if not qa & qb:
+                    continue
+                program.ops[a], program.ops[b] = program.ops[b], program.ops[a]
+                assert not verify_program(program, plan=plan, machine=machine).ok
+                if not reference.allclose(program.run()):
+                    return
+                program.ops[a], program.ops[b] = program.ops[b], program.ops[a]
+        raise AssertionError("no op swap misexecuted")
+
+
+# ---------------------------------------------------------------------------
+# Clean sweep: every library circuit x preset verifies clean end to end.
+# ---------------------------------------------------------------------------
+
+
+class TestCleanSweep:
+    @pytest.mark.parametrize("family", sorted(CIRCUIT_FAMILIES))
+    @pytest.mark.parametrize("preset", ["fast", "balanced", "quality"])
+    def test_library_circuit_verifies_clean(self, family, preset):
+        circuit = get_circuit(family, N)
+        machine = fresh_machine()
+        plan, _report = build_plan(circuit, machine, planner=preset)
+        program = compile_plan(plan, machine)
+        assert verify_plan(plan, machine=machine, circuit=circuit).ok
+        assert verify_program(program, plan=plan, machine=machine).ok
+        assert verify_schedule(plan, machine, num_workers=2).ok
+
+    def test_expected_stream_matches_compiler(self):
+        plan, machine = fresh_plan()
+        program = compile_plan(plan, machine)
+        expected = expected_op_stream(plan, machine)
+        assert len(expected) == len(program.ops)
+        for op, (source, gates) in zip(program.ops, expected):
+            assert op.source == source
+            if gates is not None:
+                assert tuple(op.gates or ()) == gates
+
+
+# ---------------------------------------------------------------------------
+# Differential tests: the race detector's symbolic index arithmetic must
+# agree with the executor's real index arithmetic, shard for shard.
+# ---------------------------------------------------------------------------
+
+
+class TestWriteMapDifferential:
+    @pytest.mark.parametrize(
+        "gate",
+        [
+            make_gate("x", [N - 1]),
+            make_gate("z", [N - 1]),
+            make_gate("cx", [0, N - 1]),
+            make_gate("cz", [N - 2, N - 1]),
+            make_gate("cp", [N - 1, 1], [0.3]),
+        ],
+        ids=["x", "z", "cx-nonlocal-control", "cz", "cp"],
+    )
+    def test_write_map_matches_gate_on_shard(self, gate):
+        l2p = {q: q for q in range(N)}
+        write_map, mixing = shard_write_map([gate], l2p, LOCAL, NUM_SHARDS)
+        assert not mixing
+        shard = np.zeros(1 << LOCAL, dtype=np.complex128)
+        scratch = np.zeros_like(shard)
+        for shard_index in range(NUM_SHARDS):
+            _, _, out_index = _gate_on_shard(
+                shard, scratch, gate, l2p, LOCAL, shard_index
+            )
+            assert write_map[shard_index] == out_index
+
+    def test_gate_sequence_threads_indices(self):
+        # Two anti-diagonal flips on distinct non-local qubits compose.
+        gates = [make_gate("x", [N - 1]), make_gate("x", [N - 2])]
+        l2p = {q: q for q in range(N)}
+        write_map, mixing = shard_write_map(gates, l2p, LOCAL, NUM_SHARDS)
+        assert not mixing
+        assert write_map == [s ^ 0b11 for s in range(NUM_SHARDS)]
+
+    def test_mixing_gate_is_flagged(self):
+        write_map, mixing = shard_write_map(
+            [make_gate("h", [N - 1])], {q: q for q in range(N)}, LOCAL, NUM_SHARDS
+        )
+        assert mixing
+
+    def test_round_robin_is_a_partition(self):
+        for workers in (1, 2, 3, 4, 7):
+            assignment = round_robin_assignment(NUM_SHARDS, workers)
+            shards = sorted(s for lst in assignment.values() for s in lst)
+            assert shards == list(range(NUM_SHARDS))
+
+
+# ---------------------------------------------------------------------------
+# Report plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestReport:
+    def test_merge_and_summary(self):
+        a = CheckReport(target="plan", checks_run=["locality"])
+        b = CheckReport(target="program", checks_run=["parity", "locality"])
+        b.add("program.parity", "boom", site="program.parity", op_index=3)
+        a.merge(b)
+        assert a.checks_run == ["locality", "parity"]
+        assert not a.ok
+        summary = a.summary()
+        assert summary["ok"] is False
+        assert "program.parity" in summary["violations"][0]
+
+    def test_violation_str_localizes(self):
+        v = Violation("plan.locality", "bad", site="plan.locality", stage=2)
+        assert "stage 2" in str(v)
+        assert "plan.locality" in str(v)
+
+    def test_raise_if_failed_passes_through_clean(self):
+        report = CheckReport(target="plan")
+        assert report.raise_if_failed() is report
+
+    def test_static_check_error_is_permanent_value_error(self):
+        report = CheckReport(target="plan")
+        report.add("plan.coverage", "gate missing", site="plan.coverage")
+        with pytest.raises(ValueError):
+            report.raise_if_failed()
+        with pytest.raises(StaticCheckError) as exc_info:
+            report.raise_if_failed()
+        assert exc_info.value.context["violations"]
+
+
+# ---------------------------------------------------------------------------
+# Session wiring
+# ---------------------------------------------------------------------------
+
+
+class TestSessionIntegration:
+    def test_unknown_check_mode_rejected(self):
+        with pytest.raises(ValueError, match="check mode"):
+            Session(fresh_machine(), check="paranoid")
+
+    def test_check_off_runs_no_checks(self):
+        with Session(fresh_machine(), backend="offload", planner="fast") as s:
+            job = s.run(qft(N))
+            assert job.results[0].state.allclose(simulate_reference(qft(N)))
+            assert s.stats.static_checks == 0
+
+    @pytest.mark.parametrize("backend", ["incore", "offload", "parallel"])
+    @pytest.mark.parametrize("mode", ["plans", "full"])
+    def test_checked_run_matches_reference(self, mode, backend):
+        with Session(
+            fresh_machine(), backend=backend, planner="fast", check=mode
+        ) as s:
+            job = s.run(qft(N))
+            assert job.results[0].state.allclose(simulate_reference(qft(N)))
+            assert s.stats.static_checks >= 1
+            assert s.stats.as_dict()["static_checks"] >= 1
+
+    def test_cache_hit_path_is_checked(self):
+        with Session(
+            fresh_machine(), backend="offload", planner="fast", check="full"
+        ) as s:
+            s.run(qft(N))
+            before = s.stats.static_checks
+            s.run(qft(N))  # rebind/cache-hit path
+            assert s.stats.static_checks > before
+
+    def test_full_check_composes_with_fault_injection(self):
+        # Chaos + static checks together: transient shard-load faults are
+        # retried away while every plan/program/schedule verifies clean.
+        with Session(
+            fresh_machine(),
+            backend="offload",
+            planner="fast",
+            check="full",
+            faults="shard_load:transient:2",
+        ) as s:
+            job = s.run(qft(N))
+            assert job.results[0].state.allclose(simulate_reference(qft(N)))
+            assert s.stats.static_checks >= 1
+
+    def test_quality_preset_includes_verify_pass(self):
+        circuit = qft(N)
+        _, report = build_plan(circuit, fresh_machine(), planner="quality")
+        assert report.pipeline[-1] == "verify"
+        assert report.pass_metrics["verify"]["violations"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Satellite: typed locality validation on Stage
+# ---------------------------------------------------------------------------
+
+
+class TestStageLocalityAPI:
+    def test_validate_locality_raises_typed_error(self):
+        plan, machine = fresh_plan()
+        mutate_plan_locality(plan)
+        for stage_index, stage in enumerate(plan.stages):
+            if stage.is_local():
+                continue
+            with pytest.raises(PlanValidationError) as exc_info:
+                stage.validate_locality(stage_index=stage_index)
+            assert exc_info.value.context["stage"] == stage_index
+            return
+        raise AssertionError("mutation left every stage local")
+
+    def test_is_local_predicate_survives(self):
+        plan, _ = fresh_plan()
+        assert all(stage.is_local() for stage in plan.stages)
+
+
+# ---------------------------------------------------------------------------
+# Project lint gate
+# ---------------------------------------------------------------------------
+
+
+def load_lint_module():
+    spec = importlib.util.spec_from_file_location(
+        "lint_repro", REPO / "tools" / "lint_repro.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLintRepro:
+    @pytest.fixture()
+    def lint(self, tmp_path, monkeypatch):
+        module = load_lint_module()
+        monkeypatch.setattr(module, "REPO", tmp_path)
+        monkeypatch.setattr(module, "SRC", tmp_path / "src" / "repro")
+        return module
+
+    def write(self, lint, rel, source):
+        path = lint.SRC / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return path
+
+    def test_bare_raise_flagged_in_execution_layer(self, lint):
+        path = self.write(
+            lint, "runtime/bad.py", "def f():\n    raise ValueError('boom')\n"
+        )
+        findings = lint.check_file(path)
+        assert [f.rule for f in findings] == ["bare-raise"]
+
+    def test_pragma_suppresses_config_errors(self, lint):
+        path = self.write(
+            lint,
+            "runtime/ok.py",
+            "def f():\n    raise ValueError('boom')  # lint: config-error\n",
+        )
+        assert lint.check_file(path) == []
+
+    def test_bare_raise_out_of_scope_ignored(self, lint):
+        path = self.write(
+            lint, "planner/free.py", "def f():\n    raise ValueError('boom')\n"
+        )
+        assert lint.check_file(path) == []
+
+    def test_hot_alloc_flagged_only_in_closures(self, lint):
+        source = (
+            "import numpy as np\n"
+            "class CompiledProgram:\n"
+            "    def run(self):\n"
+            "        return np.zeros(4)\n"
+            "def build():\n"
+            "    def run(state, scratch, ws):\n"
+            "        return np.zeros(4)\n"
+            "    return run\n"
+        )
+        path = self.write(lint, "sim/program.py", source)
+        findings = lint.check_file(path)
+        assert [f.rule for f in findings] == ["hot-alloc"]
+        assert findings[0].line == 7
+
+    def test_wall_clock_time_flagged(self, lint):
+        path = self.write(
+            lint, "cluster/timing.py", "import time\nnow = time.time()\n"
+        )
+        findings = lint.check_file(path)
+        assert [f.rule for f in findings] == ["monotonic-time"]
+
+    def test_baseline_suppresses_known_findings(self, lint, tmp_path):
+        self.write(lint, "runtime/bad.py", "def f():\n    raise ValueError('x')\n")
+        baseline = tmp_path / "baseline.json"
+        assert lint.main(["--baseline", str(baseline), "--write-baseline"]) == 0
+        assert lint.main(["--baseline", str(baseline)]) == 0
+        self.write(lint, "runtime/worse.py", "def g():\n    raise RuntimeError('y')\n")
+        assert lint.main(["--baseline", str(baseline)]) == 1
+
+    def test_repo_tree_is_clean_against_committed_baseline(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint_repro.py")],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_committed_baseline_is_empty(self):
+        import json
+
+        assert json.loads((REPO / "tools" / "lint_baseline.json").read_text()) == []
+
+
+# ---------------------------------------------------------------------------
+# Optional external gates (CI installs these; the test image may not).
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_gate_passes():
+    result = subprocess.run(
+        ["ruff", "check", "src", "tools", "tests"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_gate_passes():
+    result = subprocess.run(
+        ["mypy", "--config-file", "mypy.ini", "src/repro"],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -188,7 +188,7 @@ class TestQubitPartitionEdgeCases:
     def test_stage_without_kernels_costs_zero(self):
         stage = Stage(gates=[], partition=QubitPartition.from_sets({0}, set(), set()))
         assert stage.kernel_cost() == 0.0
-        assert stage.validate_locality()
+        assert stage.is_local()
 
     def test_execution_plan_counts_without_kernels(self):
         stage = Stage(gates=list(Circuit(2).h(0).gates),

@@ -286,7 +286,7 @@ class TestPlanningTelemetry:
         _, report = build_plan(circuit, machine, planner="quality")
         assert report.preset == "quality"
         assert report.pipeline == (
-            "analyze", "stage", "kernelize", "refine", "finalize",
+            "analyze", "stage", "kernelize", "refine", "finalize", "verify",
         )
         assert set(report.pass_seconds) == set(report.pipeline)
         assert all(s >= 0.0 for s in report.pass_seconds.values())

@@ -30,7 +30,7 @@ def _check_staging(circuit, result, local, regional, global_):
         assert partition.num_regional == regional
         assert partition.num_global == global_
         # Locality invariant: non-insular qubits are local.
-        assert stage.validate_locality()
+        assert stage.is_local()
 
 
 class TestQubitPartition:

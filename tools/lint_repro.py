@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Project-specific AST lint: rules the generic linters cannot express.
+
+Three rules, each enforcing an invariant the execution layer depends on
+(see ``docs/static-analysis.md`` for the catalog):
+
+``bare-raise``
+    No bare ``raise ValueError(...)`` / ``raise RuntimeError(...)`` /
+    ``raise TypeError(...)`` inside the execution layer
+    (``runtime/``, ``session/``, ``sim/``, ``core/plan.py``): failures
+    there must use the typed taxonomy of :mod:`repro.errors` so the
+    retry/degradation machinery can classify them.  Genuine
+    *configuration* errors — the user asked for something that does not
+    exist, where a plain builtin is the documented contract — carry a
+    ``# lint: config-error`` pragma on the raise line.
+
+``hot-alloc``
+    No allocation calls (``np.zeros`` / ``np.empty`` / ``np.copy`` /
+    ``np.array`` / ``np.ascontiguousarray`` / ``tracked_empty``) inside
+    the per-op ``run()`` / ``run_batched()`` closures of
+    ``sim/program.py``: compiled-op execution must be allocation-free in
+    steady state; buffers come from the :class:`Workspace` only.
+
+``monotonic-time``
+    No ``time.time()`` anywhere in ``src/repro``: deadlines and timing
+    use ``time.monotonic()`` / ``time.perf_counter()`` (wall-clock time
+    jumps break :class:`repro.errors.Deadline`).
+
+Usage::
+
+    python tools/lint_repro.py [--baseline tools/lint_baseline.json]
+                               [--write-baseline] [paths...]
+
+Exit status 1 when any non-baselined finding exists.  The baseline file
+is a committed JSON list of finding keys (``"path::rule::symbol"``) that
+lets pre-existing findings ride along without blocking CI; it is empty —
+keep it that way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+#: Directories/files where the bare-raise rule applies (the execution
+#: layer; planner/analysis code raising ValueError on bad user input is
+#: out of scope by design).
+BARE_RAISE_SCOPE = (
+    "runtime/",
+    "session/",
+    "sim/",
+    "core/plan.py",
+)
+BARE_RAISE_BUILTINS = {"ValueError", "RuntimeError", "TypeError"}
+PRAGMA = "lint: config-error"
+
+HOT_ALLOC_FILE = "sim/program.py"
+HOT_ALLOC_CALLS = {"zeros", "empty", "copy", "array", "ascontiguousarray"}
+HOT_ALLOC_NAMES = {"tracked_empty"}
+HOT_CLOSURES = {"run", "run_batched"}
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str, symbol: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        #: Line-number-independent key for the baseline (survives drift).
+        self.key = f"{path}::{rule}::{symbol}"
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _has_pragma(source_lines: list[str], node: ast.AST) -> bool:
+    line = source_lines[node.lineno - 1]
+    # The pragma may sit on the raise line or on the closing line of a
+    # multi-line raise.
+    end = getattr(node, "end_lineno", node.lineno)
+    return any(
+        PRAGMA in source_lines[i]
+        for i in range(node.lineno - 1, min(end, len(source_lines)))
+    )
+
+
+def _enclosing(stack: list[str]) -> str:
+    return ".".join(stack) if stack else "<module>"
+
+
+def check_file(path: Path) -> list[Finding]:
+    rel = path.relative_to(REPO).as_posix()
+    rel_src = path.relative_to(SRC).as_posix() if SRC in path.parents or path.parent == SRC else rel
+    try:
+        source = path.read_text()
+    except OSError as exc:  # pragma: no cover - unreadable file
+        return [Finding(rel, 0, "io", f"unreadable: {exc}", "io")]
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+
+    findings: list[Finding] = []
+    in_scope_raise = any(
+        rel_src == scope or rel_src.startswith(scope) for scope in BARE_RAISE_SCOPE
+    )
+    is_hot_file = rel_src == HOT_ALLOC_FILE
+
+    func_stack: list[str] = []
+    #: Parallel stack: whether each enclosing function is a class method.
+    #: ``CompiledProgram.run`` (the documented one-allocation public API)
+    #: is a method; the hot-alloc rule targets only the nested per-op
+    #: ``run`` / ``run_batched`` closures.
+    method_stack: list[bool] = []
+
+    def visit(node: ast.AST, parent: ast.AST | None = None) -> None:
+        pushed = False
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func_stack.append(node.name)
+            method_stack.append(isinstance(parent, ast.ClassDef))
+            pushed = True
+
+        if in_scope_raise and isinstance(node, ast.Raise) and node.exc is not None:
+            call = node.exc
+            name = None
+            if isinstance(call, ast.Call) and isinstance(call.func, ast.Name):
+                name = call.func.id
+            elif isinstance(call, ast.Name):
+                name = call.id
+            if name in BARE_RAISE_BUILTINS and not _has_pragma(lines, node):
+                where = _enclosing(func_stack)
+                findings.append(
+                    Finding(
+                        rel, node.lineno, "bare-raise",
+                        f"bare `raise {name}` in {where}: use a typed error "
+                        f"from repro.errors (or mark a genuine user "
+                        f"configuration error with `# {PRAGMA}`)",
+                        f"{where}:{name}",
+                    )
+                )
+
+        if is_hot_file and isinstance(node, ast.Call):
+            hot = any(
+                f in HOT_CLOSURES and not is_method
+                for f, is_method in zip(func_stack, method_stack)
+            )
+            if hot:
+                alloc = None
+                f = node.func
+                if (
+                    isinstance(f, ast.Attribute)
+                    and isinstance(f.value, ast.Name)
+                    and f.value.id == "np"
+                    and f.attr in HOT_ALLOC_CALLS
+                ):
+                    alloc = f"np.{f.attr}"
+                elif isinstance(f, ast.Name) and f.id in HOT_ALLOC_NAMES:
+                    alloc = f.id
+                if alloc is not None:
+                    where = _enclosing(func_stack)
+                    findings.append(
+                        Finding(
+                            rel, node.lineno, "hot-alloc",
+                            f"allocation `{alloc}` inside hot closure "
+                            f"{where}: per-op execution must be "
+                            f"allocation-free — borrow from the Workspace",
+                            f"{where}:{alloc}",
+                        )
+                    )
+
+        if isinstance(node, ast.Call):
+            f = node.func
+            if (
+                isinstance(f, ast.Attribute)
+                and f.attr == "time"
+                and isinstance(f.value, ast.Name)
+                and f.value.id == "time"
+            ):
+                where = _enclosing(func_stack)
+                findings.append(
+                    Finding(
+                        rel, node.lineno, "monotonic-time",
+                        f"`time.time()` in {where}: use time.monotonic() or "
+                        f"time.perf_counter() (Deadline requires a "
+                        f"monotonic clock)",
+                        f"{where}:time.time",
+                    )
+                )
+
+        for child in ast.iter_child_nodes(node):
+            visit(child, node)
+        if pushed:
+            func_stack.pop()
+            method_stack.pop()
+
+    visit(tree)
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=REPO / "tools" / "lint_baseline.json",
+        help="JSON list of accepted finding keys",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    roots = args.paths or [SRC]
+    files: list[Path] = []
+    for root in roots:
+        root = root.resolve()
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(check_file(path))
+
+    if args.write_baseline:
+        args.baseline.write_text(
+            json.dumps(sorted(f.key for f in findings), indent=2) + "\n"
+        )
+        print(f"wrote {len(findings)} finding key(s) to {args.baseline}")
+        return 0
+
+    baseline: set[str] = set()
+    if args.baseline.exists():
+        baseline = set(json.loads(args.baseline.read_text()))
+
+    fresh = [f for f in findings if f.key not in baseline]
+    for finding in fresh:
+        print(finding)
+    suppressed = len(findings) - len(fresh)
+    status = "clean" if not fresh else f"{len(fresh)} finding(s)"
+    print(
+        f"lint_repro: {status} across {len(files)} file(s)"
+        + (f" ({suppressed} baselined)" if suppressed else "")
+    )
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
