@@ -49,7 +49,7 @@ def main() -> None:
     # priced — with the measured constants instead of the defaults.
     machine = MachineConfig.for_circuit(14, num_shards=4, local_qubits=12)
     with Session(machine, cost_model=model) as session:
-        result = session.run(qft(14), execute=False).result
+        result = session.run(qft(14), execute=False).modelled()
     print(
         f"\nSession with the calibrated cost model: qft(14) plans into "
         f"{result.plan.num_kernels} kernels, modelled total "

@@ -33,7 +33,7 @@ def functional_demo() -> None:
     assert machine.num_shards == 16 and machine.physical_gpus == 1
 
     with Session(machine, backend="offload") as session:
-        result = session.run(circuit).result
+        result = session.run(circuit).result()
     stats = result.execution_stats
     reference = simulate_reference(circuit)
     assert reference.allclose(result.state), "offloaded execution diverged!"
@@ -60,7 +60,7 @@ def auto_selection_demo() -> None:
         gpu_memory_bytes=(1 << 8) * 16,
     )
     with Session(machine) as session:
-        result = session.run(circuit).result
+        result = session.run(circuit).result()
     assert result.backend == "parallel", result.backend
     assert simulate_reference(circuit).allclose(result.state)
     print(

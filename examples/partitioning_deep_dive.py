@@ -75,7 +75,7 @@ def provenance_study() -> None:
     machine = MachineConfig.for_circuit(num_qubits, num_shards=4, local_qubits=10)
     print("Plan provenance through the Session facade")
     with Session(machine, backend="incore") as session:
-        first = session.run(vqc(num_qubits, seed=0), execute=False).result
+        first = session.run(vqc(num_qubits, seed=0), execute=False).modelled()
         print(
             f"  {first.circuit_name}: cache_hit={first.cache_hit}, "
             f"staging {first.report.staging_seconds * 1e3:.1f} ms, "
@@ -83,7 +83,7 @@ def provenance_study() -> None:
         )
         # Same structure, different rotation angles: the partitioner is
         # skipped and the cached plan is re-bound to the new gates.
-        second = session.run(vqc(num_qubits, seed=1), execute=False).result
+        second = session.run(vqc(num_qubits, seed=1), execute=False).modelled()
         print(
             f"  {second.circuit_name}: cache_hit={second.cache_hit}, "
             f"report={second.report} (no preprocessing ran)"

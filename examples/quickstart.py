@@ -41,7 +41,7 @@ def main() -> None:
     )
 
     with Session(machine) as session:
-        result = session.run(circuit, shots=8).result
+        result = session.run(circuit, shots=8).result()
         plan, timing = result.plan, result.timing
 
         print(
@@ -70,7 +70,7 @@ def main() -> None:
 
         # A structurally identical circuit reuses the cached plan: the ILP
         # and the DP kernelizer do not run again.
-        rerun = session.run(qft(num_qubits)).result
+        rerun = session.run(qft(num_qubits)).result()
         assert rerun.cache_hit, "second structurally identical run missed the cache"
         stats = session.stats
         print(

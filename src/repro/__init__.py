@@ -31,7 +31,7 @@ Quick start::
 
     machine = MachineConfig.for_circuit(12, num_shards=4, local_qubits=10)
     with Session(machine) as session:
-        result = session.run(qft(12), shots=100).result
+        result = session.run(qft(12), shots=100).result()
     print(result.timing.total_seconds, result.counts())
 
 :func:`simulate` remains as a one-shot convenience over the same machinery.
@@ -54,15 +54,19 @@ from .errors import (
     CacheCorruptionError,
     Deadline,
     DeadlineExceeded,
+    JobCancelledError,
     KernelError,
     PermanentError,
     PlanValidationError,
+    QueueFullError,
     ReproError,
     RetryPolicy,
+    ServiceClosedError,
     SessionClosedError,
     ShardIOError,
     StateValidationError,
     StaticCheckError,
+    TenantQuotaError,
     TransientError,
 )
 from .core import (
@@ -81,10 +85,15 @@ from .runtime import (
     execute_plan,
     model_simulation_time,
 )
-from .session import Job, Result, Session
+from .service import (
+    AdmissionPolicy,
+    SharedPlanStore,
+    SimulationService,
+)
+from .session import Job, JobStatus, Result, Session
 from .sim import CompiledProgram, StateVector, simulate_reference
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Circuit",
@@ -108,7 +117,12 @@ __all__ = [
     "TimingBreakdown",
     "Session",
     "Job",
+    "JobStatus",
     "Result",
+    # Multi-tenant service layer.
+    "SimulationService",
+    "SharedPlanStore",
+    "AdmissionPolicy",
     "PassManager",
     "build_plan",
     "available_presets",
@@ -126,6 +140,10 @@ __all__ = [
     "DeadlineExceeded",
     "CacheCorruptionError",
     "SessionClosedError",
+    "ServiceClosedError",
+    "QueueFullError",
+    "TenantQuotaError",
+    "JobCancelledError",
     "RetryPolicy",
     "Deadline",
     "FaultSpec",
@@ -204,9 +222,8 @@ def simulate(
         cost_model=cost_model,
         **session_kwargs,
     ) as session:
-        result = session.run(
-            circuit, initial_state=initial_state, execute=execute
-        ).result
+        job = session.run(circuit, initial_state=initial_state, execute=execute)
+        result = job.result() if execute else job.modelled()
     return SimulationResult(
         state=result.state,
         plan=result.plan,

@@ -125,7 +125,7 @@ def figure5_weak_scaling(
                     backend = "incore" if name == "atlas" else name
                     result = session.run(
                         circuit, machine=machine, backend=backend, execute=False
-                    ).result
+                    ).modelled()
                     row[name] = result.timing.total_seconds
                 baselines = [row[n] for n in simulators if n != "atlas"]
                 if "atlas" in simulators and baselines:
@@ -154,7 +154,7 @@ def figure6_breakdown(
                 machine = _machine_for(num_qubits, gpus, local_qubits)
                 breakdown = session.run(
                     circuit, machine=machine, backend="incore", execute=False
-                ).result.timing
+                ).modelled().timing
                 totals.append(breakdown.total_seconds)
                 comms.append(breakdown.communication_seconds + breakdown.offload_seconds)
             avg_total = sum(totals) / len(totals)
@@ -208,7 +208,7 @@ def figure7_offloading(
             )
             atlas_time = session.run(
                 circuit, machine=machine, backend="incore", execute=False
-            ).result.timing.total_seconds
+            ).modelled().timing.total_seconds
             qdao_time = qdao.model_time(circuit, machine).total_seconds
             rows.append(
                 {
@@ -242,7 +242,7 @@ def figure8_offload_scaling(
             )
             atlas_time = session.run(
                 circuit, machine=machine, backend="incore", execute=False
-            ).result.timing.total_seconds
+            ).modelled().timing.total_seconds
             qdao_time = qdao.model_time(circuit, machine).total_seconds
             rows.append({"gpus": gpus, "atlas_s": atlas_time, "qdao_s": qdao_time})
     return rows

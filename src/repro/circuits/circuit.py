@@ -252,6 +252,61 @@ class Circuit:
                 h.update(np.packbits(pattern.reshape(-1)).tobytes())
         return h.hexdigest()
 
+    def canonical_relabeling(self) -> dict[int, int]:
+        """Mapping of each logical qubit to its *first-use order* position.
+
+        Qubits are numbered by the order in which the gate sequence first
+        touches them; qubits no gate touches keep their relative order after
+        all used ones.  Two circuits that differ only by a qubit relabeling
+        map onto the same canonical labels, which is what makes
+        :meth:`canonical_structural_key` relabel-invariant.
+        """
+        mapping: dict[int, int] = {}
+        for g in self._gates:
+            for q in g.qubits:
+                if q not in mapping:
+                    mapping[q] = len(mapping)
+        for q in range(self.num_qubits):
+            if q not in mapping:
+                mapping[q] = len(mapping)
+        return mapping
+
+    def canonical_structural_key(self) -> tuple[str, dict[int, int]]:
+        """Qubit-relabel-invariant structural fingerprint.
+
+        Returns ``(key, mapping)`` where *mapping* is this circuit's
+        :meth:`canonical_relabeling` and *key* is the
+        :meth:`structural_key` of the circuit rewritten into canonical
+        labels.  Circuits submitted by different users that are the same
+        computation on permuted qubits share one canonical key — the
+        cross-tenant plan cache (:mod:`repro.service.persistence`) keys on
+        it, and uses *mapping* to relabel the shared plan back into each
+        submitter's labels.
+        """
+        mapping = self.canonical_relabeling()
+        if all(q == p for q, p in mapping.items()):
+            return self.structural_key(), mapping
+        return self.remap_qubits(mapping).structural_key(), mapping
+
+    def content_key(self) -> str:
+        """Hex fingerprint of the *full* circuit content, parameters included.
+
+        Unlike :meth:`structural_key` (which deliberately ignores rotation
+        angles so a parameter sweep is one structure), two circuits share a
+        content key exactly when they run the same gates with the same
+        parameters on the same qubits — the dedup condition for identical
+        batch submissions (:meth:`repro.service.SimulationService.submit_many`).
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(self.num_qubits.to_bytes(4, "little"))
+        for g in self._gates:
+            h.update(b"|")
+            h.update(g.name.encode())
+            h.update(np.asarray(g.qubits, dtype=np.int32).tobytes())
+            if g.params:
+                h.update(np.asarray(g.params, dtype=np.float64).tobytes())
+        return h.hexdigest()
+
     def dependency_edges(self) -> list[tuple[int, int]]:
         """Adjacent-gate dependency pairs ``E`` (paper Section IV).
 

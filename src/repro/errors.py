@@ -38,15 +38,19 @@ __all__ = [
     "CacheCorruptionError",
     "Deadline",
     "DeadlineExceeded",
+    "JobCancelledError",
     "KernelError",
     "PermanentError",
     "PlanValidationError",
+    "QueueFullError",
     "ReproError",
     "RetryPolicy",
+    "ServiceClosedError",
     "SessionClosedError",
     "ShardIOError",
     "StateValidationError",
     "StaticCheckError",
+    "TenantQuotaError",
     "TransientError",
 ]
 
@@ -120,6 +124,26 @@ class AdmissionError(PermanentError, MemoryError):
     exceeds the backend's budget (degrade down the backend chain)."""
 
 
+class QueueFullError(AdmissionError):
+    """The service's pending-job queue is at capacity.
+
+    On the permanent branch deliberately: the *submission* as issued cannot
+    proceed and the runtimes must not blind-retry it.  The client may
+    resubmit once the queue drains — ``context`` carries ``depth`` and
+    ``limit`` so backpressure-aware clients can pace themselves.
+    """
+
+
+class TenantQuotaError(AdmissionError):
+    """One tenant's pending-job quota is exhausted (other tenants may
+    still submit — this is per-tenant backpressure, not global)."""
+
+
+class JobCancelledError(PermanentError, RuntimeError):
+    """The job was cancelled before it produced a result; ``result()``
+    re-raises this on every later call."""
+
+
 class DeadlineExceeded(PermanentError, TimeoutError):
     """The job's cooperative deadline expired at a cancellation point."""
 
@@ -130,6 +154,11 @@ class CacheCorruptionError(TransientError, RuntimeError):
 
 class SessionClosedError(PermanentError, RuntimeError):
     """The Session/runtime was used after :meth:`close`."""
+
+
+class ServiceClosedError(SessionClosedError):
+    """The :class:`repro.service.SimulationService` was used after
+    :meth:`close` (inherits the closed-session semantics)."""
 
 
 # ---------------------------------------------------------------------------

@@ -19,7 +19,7 @@ Quick start::
 or through a session::
 
     with Session(machine, planner="fast") as session:
-        result = session.run(circuit).result
+        result = session.run(circuit).result()
 
 See ``docs/planning.md`` for the architecture and the extension guide.
 """

@@ -165,6 +165,11 @@ class ParallelRuntime:
         self.quarantined_workers = 0
         self.fallbacks = 0
         self._closed = False
+        #: Serializes executions when one runtime is shared by concurrent
+        #: jobs (the service's shared pool): the worker pool, DRAM scratch
+        #: and segment caches are shared state, so callers take turns at
+        #: execution granularity while shards parallelise within each turn.
+        self._exec_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Pool / buffer management
@@ -455,7 +460,27 @@ class ParallelRuntime:
         is checked cooperatively at stage/segment/shard boundaries; an
         expired deadline raises :class:`~repro.errors.DeadlineExceeded`
         with every worker drained and the runtime reusable.
+
+        **Pool sharing:** one runtime may serve several concurrent jobs
+        (the multi-tenant service front-ends exactly this).  Executions are
+        serialized on an internal lock — the worker pool, DRAM scratch and
+        segmentation caches are shared across the callers, while each
+        plan's shards still fan out over every worker.  Concurrent callers
+        interleave at execution granularity (per batch item), so a long
+        batch does not monopolise the pool against a competing job.
         """
+        with self._exec_lock:
+            return self._execute_exclusive(
+                plan, initial_state, schedule_key, deadline
+            )
+
+    def _execute_exclusive(
+        self,
+        plan: ExecutionPlan,
+        initial_state: StateVector | None = None,
+        schedule_key: str | None = None,
+        deadline: "Deadline | float | None" = None,
+    ) -> tuple[StateVector, OffloadStats]:
         machine = self.machine
         n = plan.num_qubits
         machine.validate(n)

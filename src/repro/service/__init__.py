@@ -1,0 +1,24 @@
+"""Multi-tenant simulation service over one shared session.
+
+See ``docs/service.md`` for the architecture: admission control, priority
++ weighted fair-share scheduling, deferred future-backed jobs, and the
+persistent cross-tenant plan cache.
+"""
+
+from .admission import AdmissionController, AdmissionPolicy
+from .persistence import SharedPlanStore, SharedStoreStats
+from .scheduling import FairShareScheduler, QueuedJob, TenantQueue
+from .service import SimulationService, TenantStats, parse_circuit_spec
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "FairShareScheduler",
+    "QueuedJob",
+    "SharedPlanStore",
+    "SharedStoreStats",
+    "SimulationService",
+    "TenantQueue",
+    "TenantStats",
+    "parse_circuit_spec",
+]

@@ -1,0 +1,578 @@
+"""The multi-tenant simulation service.
+
+:class:`SimulationService` fronts **one** shared
+:class:`~repro.session.Session` (and therefore one
+:class:`~repro.runtime.parallel.ParallelRuntime` worker pool and one plan
+cache hierarchy) for many logical tenants:
+
+* ``submit`` applies admission control synchronously (typed
+  :class:`~repro.errors.AdmissionError` rejections at the call site),
+  then enqueues and returns a genuinely deferred :class:`~repro.session.Job`
+  — ``done()`` / ``result(timeout=...)`` / ``cancel()`` work from any
+  thread while a dedicated scheduler thread drains the queues.
+* Scheduling is priority + weighted fair-share: per-tenant queues ordered
+  by ``(-priority, submission)``, dispatched under deficit round-robin
+  (:mod:`repro.service.scheduling`) so no tenant can starve another.
+* Every tenant's plans flow through one cross-tenant
+  :class:`~repro.service.SharedPlanStore` keyed on relabel-invariant
+  structural keys, optionally persisted to disk so a restarted service
+  replans nothing it already planned.
+* Per-tenant accounting (waits, turnarounds, cache hit rates) and global
+  service counters are maintained continuously and snapshot via
+  :meth:`SimulationService.stats`.
+
+The scheduler thread is the only thread that executes on the shared
+session; deferred jobs returned by ``Session.run(execute=False)`` resolve
+through the session's own lock, so both paths compose safely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..circuits import Circuit, from_qasm
+from ..circuits.library import get_circuit
+from ..errors import ServiceClosedError
+from ..session import Job, Session
+from .admission import AdmissionController, AdmissionPolicy
+from .persistence import SharedPlanStore
+from .scheduling import FairShareScheduler, QueuedJob
+
+__all__ = ["SimulationService", "TenantStats"]
+
+
+@dataclass
+class TenantStats:
+    """Continuous accounting for one tenant."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    circuits: int = 0
+    #: Structurally deduplicated submissions (fan-out followers).
+    deduplicated: int = 0
+    #: Plan-cache hits attributed to this tenant's dispatched jobs —
+    #: local structural hits and cross-tenant shared-store hits.
+    cache_hits: int = 0
+    shared_cache_hits: int = 0
+    plans_built: int = 0
+    wait_seconds: float = 0.0
+    turnaround_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        dispatched = self.completed + self.failed
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+            "circuits": self.circuits,
+            "deduplicated": self.deduplicated,
+            "cache_hits": self.cache_hits,
+            "shared_cache_hits": self.shared_cache_hits,
+            "plans_built": self.plans_built,
+            "mean_wait_seconds": (
+                self.wait_seconds / dispatched if dispatched else 0.0
+            ),
+            "mean_turnaround_seconds": (
+                self.turnaround_seconds / dispatched if dispatched else 0.0
+            ),
+            "cache_hit_rate": (
+                (self.cache_hits + self.shared_cache_hits)
+                / max(1, self.cache_hits + self.shared_cache_hits + self.plans_built)
+            ),
+        }
+
+
+@dataclass
+class _WorkItem:
+    """One scheduled unit: the circuits, the run kwargs, and every Job
+    (primary + dedup followers) to complete with the shared results."""
+
+    jobs: list
+    circuits: list
+    run_kwargs: dict
+    tenant: str
+    submitted_at: float
+    entry: "QueuedJob | None" = field(default=None)
+
+
+def parse_circuit_spec(spec: str) -> Circuit:
+    """Build a circuit from a one-line textual spec.
+
+    Accepted forms: ``family:nqubits`` (a named generator from
+    :mod:`repro.circuits.library`, e.g. ``vqc:8``) or a path to an OpenQASM
+    file.  Used by :meth:`SimulationService.submit_file` and for string
+    entries in :meth:`SimulationService.submit_many`.
+    """
+    spec = spec.strip()
+    if ":" in spec and not Path(spec).exists():
+        family, _, n = spec.partition(":")
+        return get_circuit(family.strip(), int(n))
+    return from_qasm(Path(spec).read_text(), name=Path(spec).stem)
+
+
+class SimulationService:
+    """Multi-tenant front end over one shared simulation session.
+
+    Parameters
+    ----------
+    machine:
+        Cluster model for a service-owned session (ignored when *session*
+        is given).
+    session:
+        An existing :class:`~repro.session.Session` to front.  The service
+        wires its shared plan store into the session (replacing ``None``;
+        an explicitly configured ``shared_cache`` is kept).
+    policy:
+        Admission limits (:class:`~repro.service.AdmissionPolicy`).
+    store:
+        Cross-tenant :class:`~repro.service.SharedPlanStore`; built
+        automatically (persisting under *persist_dir* if given) when
+        omitted.
+    persist_dir:
+        Directory for the store's disk tier — a service restarted with the
+        same directory warms every previously planned structure.
+    quantum:
+        Deficit round-robin quantum (cost credited per tenant visit).
+    session_kwargs:
+        Forwarded to the service-owned :class:`~repro.session.Session`.
+    """
+
+    def __init__(
+        self,
+        machine=None,
+        session: "Session | None" = None,
+        *,
+        policy: "AdmissionPolicy | None" = None,
+        store: "SharedPlanStore | None" = None,
+        persist_dir: "str | Path | None" = None,
+        quantum: float = 1.0,
+        **session_kwargs,
+    ):
+        if store is None:
+            store = SharedPlanStore(persist_dir=persist_dir)
+        self.store = store
+        if session is None:
+            session = Session(machine, shared_cache=store, **session_kwargs)
+            self._owns_session = True
+        else:
+            if session.shared_cache is None:
+                session.shared_cache = store
+            self._owns_session = False
+        self.session = session
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self._admission = AdmissionController(self.policy, session)
+        self._scheduler = FairShareScheduler(quantum=quantum)
+        self._cond = threading.Condition()
+        self._tenants: dict[str, TenantStats] = {}
+        self._closed = False
+        self._stop = False
+        self._inflight = 0
+        # Global counters (guarded by the condition lock).
+        self.submitted = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.rejected = 0
+        self.deduplicated = 0
+        self.peak_queue_depth = 0
+        self._thread = threading.Thread(
+            target=self._scheduler_loop, name="repro-service-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the service (idempotent).
+
+        ``drain=True`` (default) waits for every queued job to finish
+        first; ``drain=False`` cancels everything still pending.  A
+        service-owned session is closed too; a caller-supplied session is
+        left open.
+        """
+        with self._cond:
+            if self._closed and not self._thread.is_alive():
+                return
+            self._closed = True
+            if not drain:
+                while True:
+                    entry = self._scheduler.next_job()
+                    if entry is None:
+                        break
+                    item = entry[1].payload
+                    for job in item.jobs:
+                        if job.cancel():
+                            self.cancelled += 1
+                            self._tenant(item.tenant).cancelled += 1
+            else:
+                while self._scheduler.pending() or self._inflight:
+                    self._cond.wait(timeout=0.1)
+            self._stop = True
+            self._cond.notify_all()
+        self._thread.join(timeout=30.0)
+        if self._owns_session:
+            self.session.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("service is closed", site="service.submit")
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        circuits,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        weight: float = 1.0,
+        **run_kwargs,
+    ) -> Job:
+        """Queue one job (one circuit or a batch) for *tenant*.
+
+        Admission runs synchronously — the caller sees
+        :class:`~repro.errors.QueueFullError` /
+        :class:`~repro.errors.TenantQuotaError` /
+        :class:`~repro.errors.AdmissionError` here, never deferred — and
+        the returned :class:`~repro.session.Job` completes asynchronously
+        once the fair-share scheduler dispatches it.  ``priority`` orders
+        jobs *within* the tenant (higher first); ``weight`` sets the
+        tenant's fair share (fixed at the tenant's first submission).
+        ``run_kwargs`` are forwarded to :meth:`Session.run`.
+        """
+        circuit_list = (
+            list(circuits) if isinstance(circuits, (list, tuple)) else [circuits]
+        )
+        modelled_seconds = None
+        if self.policy.max_modelled_seconds is not None:
+            # Plan now (cached for the execution) to price the job in
+            # modelled cluster time before letting it occupy the queue.
+            modelled_job = self.session.run(
+                circuit_list, execute=False, **run_kwargs
+            )
+            modelled_seconds = sum(
+                r.timing.total_seconds for r in modelled_job.modelled_results()
+            )
+        with self._cond:
+            self._ensure_open()
+            stats = self._tenant(tenant)
+            try:
+                self._admission.admit(
+                    circuit_list,
+                    tenant=tenant,
+                    pending_total=self._scheduler.pending(),
+                    pending_tenant=self._scheduler.pending_for(tenant),
+                    modelled_seconds=modelled_seconds,
+                )
+            except Exception:
+                self.rejected += 1
+                stats.rejected += 1
+                raise
+            job = Job.pending(
+                len(circuit_list),
+                backend=run_kwargs.get("backend") or "",
+                tenant=tenant,
+            )
+            item = _WorkItem(
+                jobs=[job],
+                circuits=circuit_list,
+                run_kwargs=dict(run_kwargs),
+                tenant=tenant,
+                submitted_at=time.monotonic(),
+            )
+            item.entry = self._scheduler.enqueue(
+                tenant,
+                item,
+                priority=priority,
+                cost=len(circuit_list),
+                weight=weight,
+            )
+            self.submitted += 1
+            stats.submitted += 1
+            stats.circuits += len(circuit_list)
+            self.peak_queue_depth = max(
+                self.peak_queue_depth, self._scheduler.pending()
+            )
+            self._cond.notify_all()
+        return job
+
+    def submit_many(
+        self,
+        specs,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        weight: float = 1.0,
+        concurrency: int = 4,
+        dedup: bool = True,
+        **run_kwargs,
+    ) -> list[Job]:
+        """Batch intake: one Job per spec, deduplicating identical work.
+
+        *specs* may mix :class:`~repro.circuits.Circuit` objects and
+        textual specs (``family:nqubits`` or QASM paths — see
+        :func:`parse_circuit_spec`); textual specs are parsed concurrently
+        on up to *concurrency* threads.  With ``dedup=True`` (default),
+        submissions whose circuit *content* (structure **and** parameters)
+        and run kwargs coincide execute **once**: followers receive the
+        primary's results through their own independent Jobs (separately
+        cancellable, same fan-out results).
+        """
+        specs = list(specs)
+        if any(isinstance(s, str) for s in specs):
+            if concurrency < 1:
+                raise ValueError(
+                    "concurrency must be positive"
+                )  # lint: config-error
+            with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                circuits = list(
+                    pool.map(
+                        lambda s: parse_circuit_spec(s)
+                        if isinstance(s, str)
+                        else s,
+                        specs,
+                    )
+                )
+        else:
+            circuits = specs
+        kwargs_key = tuple(sorted((k, repr(v)) for k, v in run_kwargs.items()))
+        jobs: list[Job] = []
+        primaries: dict[object, Job] = {}
+        for circuit in circuits:
+            key = (circuit.content_key(), kwargs_key) if dedup else None
+            primary = primaries.get(key) if key is not None else None
+            if primary is None:
+                job = self.submit(
+                    circuit,
+                    tenant=tenant,
+                    priority=priority,
+                    weight=weight,
+                    **run_kwargs,
+                )
+                if key is not None:
+                    primaries[key] = job
+            else:
+                job = self._attach_follower(primary, tenant)
+            jobs.append(job)
+        return jobs
+
+    def submit_file(
+        self,
+        path,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        weight: float = 1.0,
+        concurrency: int = 4,
+        dedup: bool = True,
+        **run_kwargs,
+    ) -> list[Job]:
+        """Submit every circuit spec listed in a text file.
+
+        One spec per line (``family:nqubits`` or a QASM path); blank lines
+        and ``#`` comments are skipped.  Semantics otherwise identical to
+        :meth:`submit_many`.
+        """
+        lines = Path(path).read_text().splitlines()
+        specs = [
+            line.strip()
+            for line in lines
+            if line.strip() and not line.strip().startswith("#")
+        ]
+        return self.submit_many(
+            specs,
+            tenant=tenant,
+            priority=priority,
+            weight=weight,
+            concurrency=concurrency,
+            dedup=dedup,
+            **run_kwargs,
+        )
+
+    def _attach_follower(self, primary: Job, tenant: str) -> Job:
+        """A dedup follower: its own cancellable Job, completed with the
+        primary item's results when that item executes."""
+        with self._cond:
+            self._ensure_open()
+            item = self._find_item(primary)
+            stats = self._tenant(tenant)
+            if item is None:
+                # Primary already dispatched (or cancelled): fall back to
+                # mirroring its terminal outcome via a deferred resolve.
+                follower = Job.pending(len(primary), tenant=tenant)
+                self.submitted += 1
+                self.deduplicated += 1
+                stats.submitted += 1
+                stats.deduplicated += 1
+
+                def _mirror(primary=primary, follower=follower):
+                    try:
+                        results = primary.results()
+                    except BaseException as exc:
+                        follower._fail(exc)
+                    else:
+                        follower._complete(
+                            results,
+                            backend=primary.backend,
+                            wall_seconds=primary.wall_seconds,
+                            cache_hits=primary.cache_hits,
+                        )
+
+                threading.Thread(target=_mirror, daemon=True).start()
+                return follower
+            follower = Job.pending(len(item.circuits), tenant=tenant)
+            item.jobs.append(follower)
+            self.submitted += 1
+            self.deduplicated += 1
+            stats.submitted += 1
+            stats.deduplicated += 1
+            return follower
+
+    def _find_item(self, job: Job) -> "_WorkItem | None":
+        for queue in self._scheduler._queues.values():
+            for entry in queue._heap:
+                if job in entry.payload.jobs:
+                    return entry.payload
+        return None
+
+    # ------------------------------------------------------------------
+    # Scheduler thread
+    # ------------------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stop and self._scheduler.pending() == 0:
+                    self._cond.wait(timeout=0.5)
+                if self._stop and self._scheduler.pending() == 0:
+                    return
+                entry = self._scheduler.next_job()
+                if entry is None:
+                    continue
+                tenant, queued = entry
+                item: _WorkItem = queued.payload
+                claimed = [job for job in item.jobs if job._mark_running()]
+                stats = self._tenant(tenant)
+                if not claimed:
+                    # Every job of the item was cancelled while queued.
+                    self.cancelled += len(item.jobs)
+                    stats.cancelled += len(item.jobs)
+                    self._cond.notify_all()
+                    continue
+                self._inflight += 1
+                self.dispatched += 1
+            started = time.monotonic()
+            stats_before = (
+                self.session.stats.cache_hits,
+                self.session.stats.shared_cache_hits,
+                self.session.stats.plans_built,
+            )
+            error = None
+            inner = None
+            try:
+                inner = self.session.run(
+                    item.circuits, execute=True, **item.run_kwargs
+                )
+            except BaseException as exc:  # propagate through every Job
+                error = exc
+            finished = time.monotonic()
+            if error is None:
+                results = inner.results()
+                for job in claimed:
+                    job._complete(
+                        results,
+                        backend=inner.backend,
+                        wall_seconds=inner.wall_seconds,
+                        cache_hits=inner.cache_hits,
+                    )
+            else:
+                for job in claimed:
+                    job._fail(error)
+            with self._cond:
+                self._inflight -= 1
+                delta = (
+                    self.session.stats.cache_hits - stats_before[0],
+                    self.session.stats.shared_cache_hits - stats_before[1],
+                    self.session.stats.plans_built - stats_before[2],
+                )
+                stats.cache_hits += delta[0]
+                stats.shared_cache_hits += delta[1]
+                stats.plans_built += delta[2]
+                stats.wait_seconds += started - item.submitted_at
+                stats.turnaround_seconds += finished - item.submitted_at
+                if error is None:
+                    self.completed += len(claimed)
+                    stats.completed += len(claimed)
+                else:
+                    self.failed += len(claimed)
+                    stats.failed += len(claimed)
+                skipped = len(item.jobs) - len(claimed)
+                if skipped:
+                    self.cancelled += skipped
+                    stats.cancelled += skipped
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _tenant(self, tenant: str) -> TenantStats:
+        stats = self._tenants.get(tenant)
+        if stats is None:
+            stats = self._tenants[tenant] = TenantStats()
+        return stats
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return self._scheduler.pending()
+
+    def tenant_stats(self, tenant: str) -> TenantStats:
+        with self._cond:
+            return self._tenant(tenant)
+
+    def stats(self) -> dict:
+        """Snapshot of service, per-tenant, store and session counters."""
+        with self._cond:
+            return {
+                "queue_depth": self._scheduler.pending(),
+                "peak_queue_depth": self.peak_queue_depth,
+                "inflight": self._inflight,
+                "submitted": self.submitted,
+                "dispatched": self.dispatched,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "rejected": self.rejected,
+                "deduplicated": self.deduplicated,
+                "tenants": {
+                    name: stats.as_dict()
+                    for name, stats in sorted(self._tenants.items())
+                },
+                "shared_store": self.store.stats.as_dict(),
+                "session": self.session.stats.as_dict(),
+            }

@@ -19,21 +19,38 @@ from .backends import (
     register_backend,
     select_auto_backend,
 )
-from .cache import CacheStats, PlanCache, plan_cache_key, plan_fingerprint, rebind_plan
-from .result import Job, Result, normalize_observable
+from .cache import (
+    CacheStats,
+    PlanCache,
+    plan_cache_key,
+    plan_fingerprint,
+    plan_skeleton,
+    rebind_plan,
+    relabel_plan,
+    shared_plan_key,
+    skeleton_fingerprint,
+    skeleton_to_plan,
+)
+from .result import Job, JobStatus, Result, normalize_observable
 from .session import Session, SessionStats
 
 __all__ = [
     "Session",
     "SessionStats",
     "Job",
+    "JobStatus",
     "Result",
     "normalize_observable",
     "PlanCache",
     "CacheStats",
     "plan_cache_key",
     "plan_fingerprint",
+    "plan_skeleton",
     "rebind_plan",
+    "relabel_plan",
+    "shared_plan_key",
+    "skeleton_fingerprint",
+    "skeleton_to_plan",
     "ExecutionBackend",
     "ReferenceBackend",
     "InCoreBackend",

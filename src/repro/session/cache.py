@@ -35,9 +35,9 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from ..circuits.circuit import Circuit
-from ..core.kernel import Kernel, KernelSequence
+from ..core.kernel import Kernel, KernelSequence, KernelType
 from ..core.partitioner import PartitionReport
-from ..core.plan import ExecutionPlan, Stage
+from ..core.plan import ExecutionPlan, QubitPartition, Stage
 from ..errors import CacheCorruptionError, PlanValidationError
 
 __all__ = [
@@ -46,7 +46,12 @@ __all__ = [
     "freeze_config",
     "plan_cache_key",
     "plan_fingerprint",
+    "plan_skeleton",
     "rebind_plan",
+    "relabel_plan",
+    "shared_plan_key",
+    "skeleton_fingerprint",
+    "skeleton_to_plan",
 ]
 
 
@@ -81,6 +86,20 @@ def plan_cache_key(circuit: Circuit, machine, planner_key: object) -> tuple:
     baseline simulator identity for modelled baseline backends.
     """
     return (circuit.structural_key(), freeze_config(machine), planner_key)
+
+
+def shared_plan_key(circuit: Circuit, machine, planner_key: object) -> tuple[tuple, dict[int, int]]:
+    """The cross-tenant cache key for planning *circuit* on *machine*.
+
+    Same shape as :func:`plan_cache_key` but built from the circuit's
+    :meth:`~repro.circuits.circuit.Circuit.canonical_structural_key`, so
+    structurally equivalent circuits submitted with permuted qubit labels
+    resolve to one entry.  Returns ``(key, mapping)`` where *mapping*
+    relabels this circuit's qubits into the canonical form the cached plan
+    is stored in.
+    """
+    canonical, mapping = circuit.canonical_structural_key()
+    return (canonical, freeze_config(machine), planner_key), mapping
 
 
 def plan_fingerprint(plan: ExecutionPlan) -> str:
@@ -266,4 +285,211 @@ def rebind_plan(plan: ExecutionPlan, circuit: Circuit) -> ExecutionPlan:
         stages=stages,
         circuit_name=circuit.name,
         provenance=dict(plan.provenance),
+    )
+
+
+def relabel_plan(plan: ExecutionPlan, mapping: Mapping[int, int]) -> ExecutionPlan:
+    """Rewrite every qubit reference of *plan* through *mapping*.
+
+    Stage partitions, kernel qubit sets and the gates themselves are all
+    relabeled consistently, so the staging invariant (non-insular qubits
+    local) is preserved: relabeling both sides of the subset relation
+    cannot break it.  Stage and kernel *gate indices* are label-free and
+    carry over verbatim — which is what lets a plan built for a circuit's
+    canonical labeling be rebound to any relabeled submission
+    (:func:`skeleton_to_plan`).  The input plan is not modified.
+    """
+    stages = []
+    for stage in plan.stages:
+        gates = [g.remap(dict(mapping)) for g in stage.gates]
+        kernels = None
+        if stage.kernels is not None:
+            kernels = KernelSequence(
+                kernels=[
+                    Kernel(
+                        gates=tuple(gates[i] for i in kernel.gate_indices),
+                        qubits=tuple(sorted(mapping[q] for q in kernel.qubits)),
+                        kernel_type=kernel.kernel_type,
+                        cost=kernel.cost,
+                        gate_indices=kernel.gate_indices,
+                    )
+                    for kernel in stage.kernels
+                ]
+            )
+        stages.append(
+            Stage(
+                gates=gates,
+                partition=QubitPartition.from_sets(
+                    (mapping[q] for q in stage.partition.local),
+                    (mapping[q] for q in stage.partition.regional),
+                    (mapping[q] for q in stage.partition.global_),
+                ),
+                kernels=kernels,
+                gate_indices=list(stage.gate_indices),
+            )
+        )
+    return ExecutionPlan(
+        num_qubits=plan.num_qubits,
+        stages=stages,
+        circuit_name=plan.circuit_name,
+        provenance=dict(plan.provenance),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plan skeletons — the serialized form of a cached plan
+# ---------------------------------------------------------------------------
+
+#: Version stamp of the skeleton JSON schema; bump on incompatible change
+#: (loaders evict entries with a different version instead of guessing).
+SKELETON_VERSION = 1
+
+
+def plan_skeleton(plan: ExecutionPlan, program=None) -> dict:
+    """Serialize *plan*'s structure into a JSON-able skeleton dict.
+
+    The skeleton carries exactly what a rebind needs — per-stage gate
+    indices, the qubit partitions, and the kernel grouping — plus a
+    ``fingerprint`` checksum (:func:`plan_fingerprint` of *plan*) that
+    loaders verify before trusting the entry.  Gates are deliberately *not*
+    stored: a skeleton is always bound to the gates of the circuit being
+    executed (:func:`skeleton_to_plan`), so angles can never be stale.
+    ``program`` (the plan's :class:`~repro.sim.program.CompiledProgram`, if
+    one was compiled) contributes metadata only — op count and workspace
+    shape — used for telemetry and warm-start validation, never replayed
+    from disk.
+    """
+    stages = []
+    for stage in plan.stages:
+        kernels = None
+        if stage.kernels is not None:
+            kernels = [
+                {
+                    "gate_indices": list(kernel.gate_indices),
+                    "qubits": list(kernel.qubits),
+                    "kernel_type": kernel.kernel_type.value,
+                    "cost": kernel.cost,
+                }
+                for kernel in stage.kernels
+            ]
+        stages.append(
+            {
+                "gate_indices": list(stage.gate_indices),
+                "local": sorted(stage.partition.local),
+                "regional": sorted(stage.partition.regional),
+                "global": sorted(stage.partition.global_),
+                "kernels": kernels,
+            }
+        )
+    program_meta = None
+    if program is not None:
+        program_meta = {
+            "num_ops": len(getattr(program, "ops", ()) or ()),
+            "num_qubits": getattr(program, "num_qubits", plan.num_qubits),
+        }
+    return {
+        "version": SKELETON_VERSION,
+        "num_qubits": plan.num_qubits,
+        "circuit_name": plan.circuit_name,
+        "stages": stages,
+        "provenance": {
+            k: v
+            for k, v in plan.provenance.items()
+            if isinstance(v, (str, int, float, bool, type(None)))
+        },
+        "program_meta": program_meta,
+        "fingerprint": plan_fingerprint(plan),
+    }
+
+
+def skeleton_fingerprint(skeleton: Mapping) -> str:
+    """Recompute the integrity checksum of a parsed skeleton.
+
+    Produces exactly the digest :func:`plan_fingerprint` would for the
+    plan the skeleton describes — same fields, same repr layout — so a
+    skeleton loaded from disk can be verified against its stored
+    ``fingerprint`` without first materialising a plan.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    stage_reprs = []
+    for stage in skeleton["stages"]:
+        partition = QubitPartition.from_sets(
+            stage["local"], stage["regional"], stage["global"]
+        )
+        kernels = stage.get("kernels")
+        stage_reprs.append(
+            (
+                tuple(stage["gate_indices"]),
+                tuple(sorted(partition.logical_to_physical().items())),
+                tuple(tuple(k["gate_indices"]) for k in kernels)
+                if kernels is not None
+                else None,
+            )
+        )
+    h.update(repr((skeleton["num_qubits"], tuple(stage_reprs))).encode())
+    return h.hexdigest()
+
+
+def skeleton_to_plan(
+    skeleton: Mapping,
+    circuit: Circuit,
+    mapping: Mapping[int, int] | None = None,
+) -> ExecutionPlan:
+    """Materialise a skeleton into an :class:`ExecutionPlan` for *circuit*.
+
+    *mapping* is the circuit's canonical relabeling (circuit labels →
+    the canonical labels the skeleton's partitions are stored in); the
+    inverse is applied to every stored qubit set while gates come straight
+    from *circuit* via the recorded indices — the relabeled twin of
+    :func:`rebind_plan`.  Pass ``mapping=None`` (or an identity mapping)
+    when the skeleton was stored in the circuit's own labels.
+    """
+    if skeleton["num_qubits"] != circuit.num_qubits:
+        raise PlanValidationError(
+            f"skeleton spans {skeleton['num_qubits']} qubits, circuit has "
+            f"{circuit.num_qubits}"
+        )
+    total = sum(len(stage["gate_indices"]) for stage in skeleton["stages"])
+    if total != len(circuit):
+        raise PlanValidationError(
+            f"skeleton covers {total} gates, circuit has {len(circuit)}"
+        )
+    if mapping is None:
+        inverse = {q: q for q in range(circuit.num_qubits)}
+    else:
+        inverse = {canonical: original for original, canonical in mapping.items()}
+    stages = []
+    for stage in skeleton["stages"]:
+        gates = [circuit.gates[i] for i in stage["gate_indices"]]
+        kernels = None
+        if stage["kernels"] is not None:
+            kernels = KernelSequence(
+                kernels=[
+                    Kernel(
+                        gates=tuple(gates[i] for i in k["gate_indices"]),
+                        qubits=tuple(sorted(inverse[q] for q in k["qubits"])),
+                        kernel_type=KernelType(k["kernel_type"]),
+                        cost=float(k["cost"]),
+                        gate_indices=tuple(k["gate_indices"]),
+                    )
+                    for k in stage["kernels"]
+                ]
+            )
+        stages.append(
+            Stage(
+                gates=gates,
+                partition=QubitPartition.from_sets(
+                    (inverse[q] for q in stage["local"]),
+                    (inverse[q] for q in stage["regional"]),
+                    (inverse[q] for q in stage["global"]),
+                ),
+                kernels=kernels,
+                gate_indices=list(stage["gate_indices"]),
+            )
+        )
+    return ExecutionPlan(
+        num_qubits=circuit.num_qubits,
+        stages=stages,
+        circuit_name=circuit.name,
+        provenance=dict(skeleton.get("provenance") or {}),
     )

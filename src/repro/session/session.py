@@ -33,6 +33,7 @@ Quick start::
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -49,6 +50,7 @@ from ..errors import (
     CacheCorruptionError,
     Deadline,
     KernelError,
+    PlanValidationError,
     ReproError,
     RetryPolicy,
     SessionClosedError,
@@ -69,7 +71,16 @@ from .backends import (
     make_backend,
     select_auto_backend,
 )
-from .cache import PlanCache, freeze_config, plan_cache_key, rebind_plan
+from .cache import (
+    PlanCache,
+    freeze_config,
+    plan_cache_key,
+    plan_skeleton,
+    rebind_plan,
+    relabel_plan,
+    shared_plan_key,
+    skeleton_to_plan,
+)
 from .result import Job, Result, normalize_observable
 
 __all__ = ["Session", "SessionStats"]
@@ -89,6 +100,11 @@ class SessionStats:
     plans_built: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Cross-tenant shared plan-store counters (``Session(shared_cache=...)``):
+    #: hits served by binding another submitter's canonical plan skeleton,
+    #: and lookups that fell through to the planner.
+    shared_cache_hits: int = 0
+    shared_cache_misses: int = 0
     #: Functional executions per backend name.
     backend_runs: dict[str, int] = field(default_factory=dict)
     #: Wall time spent partitioning (cache misses only), seconds.
@@ -143,6 +159,8 @@ class SessionStats:
                 if (self.cache_hits + self.cache_misses)
                 else 0.0
             ),
+            "shared_cache_hits": self.shared_cache_hits,
+            "shared_cache_misses": self.shared_cache_misses,
             "backend_runs": dict(self.backend_runs),
             "plan_seconds": self.plan_seconds,
             "planning_pass_seconds": dict(self.planning_pass_seconds),
@@ -217,6 +235,16 @@ class Session:
         chain (``incore`` → ``offload`` → ``parallel``) or rejected with
         :class:`~repro.errors.AdmissionError`.  ``None`` disables the
         check.
+    shared_cache:
+        Optional cross-tenant shared plan store (typically a
+        :class:`repro.service.SharedPlanStore`).  Consulted on local
+        plan-cache misses under the circuit's *canonical* (qubit-relabel
+        invariant) structural key, and fed every plan this session builds
+        through the Atlas pipeline — so structurally equivalent circuits
+        from different sessions/tenants share one cold plan, and a store
+        with a persistence directory warms restarted services from disk.
+        Entries that fail their integrity checksum are evicted and
+        replanned, never trusted.
     check:
         Static-verification mode (see ``docs/static-analysis.md``):
         ``"off"`` (default — a single branch, no other overhead) runs no
@@ -249,6 +277,7 @@ class Session:
         degrade: bool = True,
         memory_budget_bytes: int | None = None,
         check: str = "off",
+        shared_cache: "object | None" = None,
     ):
         if backend != "auto" and backend not in BACKENDS:
             raise ValueError(  # lint: config-error
@@ -293,6 +322,12 @@ class Session:
         self.degrade = degrade
         self.memory_budget_bytes = memory_budget_bytes
         self.check = check
+        self.shared_cache = shared_cache
+        #: Serializes ``run``/``plan_for`` so one Session may be shared by
+        #: a service scheduler and deferred-job resolvers on other threads
+        #: (reentrant: a deferred thunk re-enters ``run`` on its own
+        #: thread without deadlocking).
+        self._lock = threading.RLock()
         self._injector = FaultInjector(faults) if faults is not None else None
         #: Session-level degradations (backend chain, planner fallback,
         #: program-compile fallback, cache evict-and-replan); backend-level
@@ -398,6 +433,16 @@ class Session:
             return shard_pairs
         workers = max(1, min(machine.num_shards, machine.physical_gpus))
         return workers * shard_pairs
+
+    def modelled_device_bytes(
+        self, backend_name: str, machine: MachineConfig, num_qubits: int
+    ) -> int:
+        """Public admission model: one job's modelled device working set.
+
+        Used by this session's own admission check and by the service
+        layer's :class:`repro.service.AdmissionController`.
+        """
+        return self._modelled_device_bytes(backend_name, machine, num_qubits)
 
     def _admit(
         self,
@@ -537,7 +582,26 @@ class Session:
         are recompiled, and the whole family shares one workspace.
         ``compile_programs=False`` skips all program work (``run`` passes
         it for ``execute=False`` jobs, which never execute a program).
+
+        With a ``shared_cache`` configured, a local miss consults the
+        cross-tenant store under the circuit's canonical structural key:
+        a shared hit binds the stored plan skeleton to this circuit
+        (relabeled out of canonical form when needed) without running the
+        partitioner, and every pipeline-built plan is published back.
         """
+        with self._lock:
+            return self._plan_for_locked(
+                circuit, machine, backend, compile_programs, planner
+            )
+
+    def _plan_for_locked(
+        self,
+        circuit: Circuit,
+        machine: MachineConfig | None,
+        backend: str | None,
+        compile_programs: bool,
+        planner: "str | PassManager | None",
+    ) -> tuple[ExecutionPlan, PartitionReport | None, bool, str, CompiledProgram | None]:
         machine = self._resolve_machine(machine)
         backend_name = self.resolve_backend(circuit.num_qubits, machine, backend)
         backend_obj = self.backend_instance(backend_name)
@@ -593,6 +657,34 @@ class Session:
             return rebound, None, True, schedule_key, program
         self.stats.cache_misses += 1
 
+        # Local miss: try the cross-tenant shared store under the circuit's
+        # canonical (qubit-relabel invariant) structural key before paying
+        # for the partitioner.
+        shared = self.shared_cache
+        shared_key = shared_mapping = None
+        if shared is not None:
+            shared_key, shared_mapping = shared_plan_key(
+                circuit, machine, planner_key
+            )
+            plan = self._bind_shared_plan(shared, shared_key, shared_mapping, circuit)
+            if plan is not None:
+                self.stats.shared_cache_hits += 1
+                program = None
+                if compile_programs and backend_obj.uses_programs:
+                    try:
+                        program = compile_plan(plan, machine)
+                        self.stats.programs_compiled += 1
+                    except (KernelError, TransientError):
+                        program = None
+                        self._session_fallbacks += 1
+                # Upgrade to a local entry so later same-structure jobs
+                # rebind (and share the program workspace) locally.
+                self.cache.put(key, plan, None, program)
+                if self.check != "off":
+                    self._static_check(plan, machine, circuit, program, backend_name)
+                return plan, None, True, schedule_key, program
+            self.stats.shared_cache_misses += 1
+
         t0 = time.perf_counter()
         backend_plan = backend_obj.make_plan(circuit, machine)
         if backend_plan is not None:
@@ -618,9 +710,42 @@ class Session:
                 program = None
                 self._session_fallbacks += 1
         self.cache.put(key, plan, report, program)
+        if shared is not None and backend_plan is None:
+            # Publish pipeline-built plans (only — baseline partitioners
+            # keep to the local cache) in canonical labels, so any
+            # relabeled twin from another tenant binds the same skeleton.
+            shared.put(
+                shared_key, plan_skeleton(relabel_plan(plan, shared_mapping), program)
+            )
         if self.check != "off":
             self._static_check(plan, machine, circuit, program, backend_name)
         return plan, report, False, schedule_key, program
+
+    def _bind_shared_plan(
+        self,
+        shared,
+        shared_key: tuple,
+        mapping: dict,
+        circuit: Circuit,
+    ) -> ExecutionPlan | None:
+        """Look up and bind a shared-store skeleton; ``None`` on any miss.
+
+        Integrity failures — a checksum mismatch surfaced by the store, an
+        injected ``cache_rebind`` fault, or a skeleton that no longer fits
+        the circuit — evict the entry and fall back to planning: a
+        corrupted cross-tenant entry is never executed.
+        """
+        try:
+            skeleton = shared.get(shared_key)
+            if skeleton is None:
+                return None
+            _faults.check("cache_rebind")
+            return skeleton_to_plan(skeleton, circuit, mapping)
+        except (CacheCorruptionError, PlanValidationError, KeyError):
+            shared.evict(shared_key)
+            self.stats.cache_corruptions += 1
+            self._session_fallbacks += 1
+            return None
 
     #: Backends whose execution shards the state across workers — the ones
     #: whose schedules the ``check="full"`` race detector verifies.
@@ -728,6 +853,84 @@ class Session:
         normalize: bool = False,
     ) -> Job:
         """Run one circuit or a batch and return a :class:`Job`.
+
+        With ``execute=True`` (default) the job completes before this
+        method returns.  With ``execute=False`` it returns a **deferred**
+        job: plans and modelled timing are available immediately
+        (:meth:`Job.modelled_results`, ``state=None``), and the first
+        :meth:`Job.result`/:meth:`Job.results` call performs the functional
+        execution lazily — exactly once, thread-safe — through this
+        session.  See :meth:`run` parameter docs below.
+        """
+        if not execute:
+            with self._lock:
+                modelled_job = self._run_locked(
+                    circuits,
+                    shots=shots,
+                    observables=observables,
+                    initial_state=initial_state,
+                    initial_states=initial_states,
+                    backend=backend,
+                    machine=machine,
+                    planner=planner,
+                    seed=seed,
+                    execute=False,
+                    deadline=deadline,
+                    normalize=normalize,
+                )
+            def _execute_deferred() -> Job:
+                return self.run(
+                    circuits,
+                    shots=shots,
+                    observables=observables,
+                    initial_state=initial_state,
+                    initial_states=initial_states,
+                    backend=backend,
+                    machine=machine,
+                    planner=planner,
+                    seed=seed,
+                    execute=True,
+                    deadline=deadline,
+                    normalize=normalize,
+                )
+            return Job.deferred(
+                _execute_deferred,
+                modelled=modelled_job.results(),
+                backend=modelled_job.backend,
+            )
+        with self._lock:
+            return self._run_locked(
+                circuits,
+                shots=shots,
+                observables=observables,
+                initial_state=initial_state,
+                initial_states=initial_states,
+                backend=backend,
+                machine=machine,
+                planner=planner,
+                seed=seed,
+                execute=True,
+                deadline=deadline,
+                normalize=normalize,
+            )
+
+    def _run_locked(
+        self,
+        circuits: Circuit | list[Circuit] | tuple[Circuit, ...],
+        *,
+        shots: int | None = None,
+        observables=None,
+        initial_state: StateVector | None = None,
+        initial_states=None,
+        backend: str | None = None,
+        machine: MachineConfig | None = None,
+        planner: "str | PassManager | None" = None,
+        seed: int | None = None,
+        execute: bool = True,
+        deadline: "Deadline | float | None" = None,
+        normalize: bool = False,
+    ) -> Job:
+        """Synchronous core of :meth:`run` (caller holds the session lock).
 
         Parameters
         ----------

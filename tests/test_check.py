@@ -436,7 +436,7 @@ class TestSessionIntegration:
     def test_check_off_runs_no_checks(self):
         with Session(fresh_machine(), backend="offload", planner="fast") as s:
             job = s.run(qft(N))
-            assert job.results[0].state.allclose(simulate_reference(qft(N)))
+            assert job.results()[0].state.allclose(simulate_reference(qft(N)))
             assert s.stats.static_checks == 0
 
     @pytest.mark.parametrize("backend", ["incore", "offload", "parallel"])
@@ -446,7 +446,7 @@ class TestSessionIntegration:
             fresh_machine(), backend=backend, planner="fast", check=mode
         ) as s:
             job = s.run(qft(N))
-            assert job.results[0].state.allclose(simulate_reference(qft(N)))
+            assert job.results()[0].state.allclose(simulate_reference(qft(N)))
             assert s.stats.static_checks >= 1
             assert s.stats.as_dict()["static_checks"] >= 1
 
@@ -470,7 +470,7 @@ class TestSessionIntegration:
             faults="shard_load:transient:2",
         ) as s:
             job = s.run(qft(N))
-            assert job.results[0].state.allclose(simulate_reference(qft(N)))
+            assert job.results()[0].state.allclose(simulate_reference(qft(N)))
             assert s.stats.static_checks >= 1
 
     def test_quality_preset_includes_verify_pass(self):

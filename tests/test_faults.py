@@ -366,7 +366,7 @@ class TestGracefulDegradation:
             # Planning-time failure: degrade to the "fast" preset and plan.
             with Session(machine, backend="incore", planner=broken) as session:
                 job = session.run(circuit)
-                assert job.result.state is not None
+                assert job.result().state is not None
                 assert session.stats.fallbacks >= 1
             with Session(
                 machine, backend="incore", planner=broken, degrade=False
@@ -404,13 +404,13 @@ class TestStateValidation:
         with make_session(machine, "incore", None) as session:
             with pytest.raises(StateValidationError):
                 session.run(qft(N), initial_state=unnorm)
-            result = session.run(qft(N), initial_state=unnorm, normalize=True).result
+            result = session.run(qft(N), initial_state=unnorm, normalize=True).result()
             assert abs(result.state.norm() - 1.0) < 1e-9
 
     def test_normalized_states_pass_through_untouched(self, machine):
         state = StateVector.random_state(N, seed=3)
         with make_session(machine, "incore", None) as session:
-            result = session.run(qft(N), initial_state=state).result
+            result = session.run(qft(N), initial_state=state).result()
             assert result.state is not None
 
 

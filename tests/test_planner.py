@@ -130,7 +130,7 @@ class TestPresetPlans:
             plan, report = build_plan(circuit, machine, planner=preset)
             plan.validate(circuit)
             with Session(machine, backend="incore", planner=preset) as session:
-                result = session.run(circuit).result
+                result = session.run(circuit).result()
             assert reference.allclose(result.state)
             assert report.total_kernel_cost > 0
 
@@ -143,7 +143,7 @@ class TestPresetPlans:
         states = {}
         for backend in ("incore", "offload", "parallel"):
             with Session(machine, backend=backend, planner=preset) as session:
-                result = session.run(circuit).result
+                result = session.run(circuit).result()
                 result.plan.validate(circuit)
                 assert reference.allclose(result.state)
                 states[backend] = result.state.data.copy()
@@ -304,7 +304,7 @@ class TestPlanningTelemetry:
         machine = MachineConfig.for_circuit(n, num_shards=1)
         with Session(machine, backend="incore", planner="fast") as session:
             job = session.run([vqc(n, seed=0), vqc(n, seed=1)])
-            first, second = job.results
+            first, second = job.results()
             # The cold plan carries the report; the cache hit does not (no
             # planning happened), but both carry plan provenance.
             assert first.report is not None
@@ -466,7 +466,7 @@ class TestRefinePass:
         # The refined plan still executes correctly.
         reference = simulate_reference(circuit)
         with Session(machine, backend="incore", planner=refined_manager) as session:
-            assert reference.allclose(session.run(circuit).result.state)
+            assert reference.allclose(session.run(circuit).result().state)
 
     def test_refine_budget_exhaustion_records_skips(self):
         n = 8

@@ -186,9 +186,9 @@ class TestBatchedExecution:
         with Session(machine, backend="incore", kernelize_config=FAST_CONFIG) as s:
             job = s.run(circuit, initial_states=states)
             singles = [
-                s.run(circuit, initial_state=state).results[0] for state in states
+                s.run(circuit, initial_state=state).results()[0] for state in states
             ]
-        for fanned, single in zip(job.results, singles):
+        for fanned, single in zip(job.results(), singles):
             assert (
                 np.max(np.abs(fanned.state.data - single.state.data)) <= self.ATOL
             )
@@ -221,7 +221,7 @@ class TestRebind:
         assert stats.programs_compiled == 1
         assert stats.programs_rebound == len(sweep) - 1
         assert stats.program_ops_reused > 0
-        for circuit, result in zip(sweep, job.results):
+        for circuit, result in zip(sweep, job.results()):
             assert simulate_reference(circuit).allclose(result.state)
 
     def test_program_backfilled_when_entry_was_cached_by_other_backend(self):
@@ -239,7 +239,7 @@ class TestRebind:
             # One backfill compile on the first hit, then rebinds only.
             assert s.stats.programs_compiled == 1
             assert s.stats.programs_rebound == len(sweep)
-            for circuit, result in zip(sweep, job.results):
+            for circuit, result in zip(sweep, job.results()):
                 assert simulate_reference(circuit).allclose(result.state)
             s.run(sweep[1], backend="offload")
             assert s.stats.programs_rebound == len(sweep)  # unchanged
@@ -319,10 +319,10 @@ class TestMemoryControls:
             job = s.run([vqc(10, seed=i) for i in range(3)], execute=False)
             assert s.stats.programs_compiled == 0
             assert s.stats.programs_rebound == 0
-            assert all(r.state is None for r in job.results)
+            assert all(r.state is None for r in job.modelled_results())
             # A later executing run on the same structure backfills the
             # program and still produces correct states.
-            res = s.run(vqc(10, seed=9)).results[0]
+            res = s.run(vqc(10, seed=9)).results()[0]
             assert s.stats.programs_compiled == 1
             assert simulate_reference(vqc(10, seed=9)).allclose(res.state)
 

@@ -144,7 +144,7 @@ class TestBackendEquivalence:
     def test_staged_plan_matches_reference(self, backend_name, sweep_machine):
         circuit = qft(8)
         with _session(sweep_machine, backend=backend_name) as session:
-            result = session.run(circuit).result
+            result = session.run(circuit).result()
         assert result.backend == backend_name
         assert simulate_reference(circuit).allclose(result.state)
 
@@ -152,7 +152,7 @@ class TestBackendEquivalence:
         circuit = vqc(8, seed=2)
         init = StateVector.random_state(8, seed=5)
         with _session(sweep_machine, backend=backend_name) as session:
-            result = session.run(circuit, initial_state=init).result
+            result = session.run(circuit, initial_state=init).result()
         assert simulate_reference(circuit, init).allclose(result.state)
 
     def test_hand_built_plan_matches_reference(self, backend_name):
@@ -223,7 +223,7 @@ class TestAutoSelection:
         assert sweep_machine.fits_in_gpus(8)
         assert select_auto_backend(sweep_machine, 8) == "incore"
         with _session(sweep_machine) as session:
-            result = session.run(qft(8)).result
+            result = session.run(qft(8)).result()
         assert result.backend == "incore"
 
     def test_oversized_state_picks_parallel(self):
@@ -233,13 +233,13 @@ class TestAutoSelection:
         assert machine.requires_offload(8)
         assert select_auto_backend(machine, 8) == "parallel"
         with _session(machine) as session:
-            result = session.run(qft(8)).result
+            result = session.run(qft(8)).result()
         assert result.backend == "parallel"
         assert simulate_reference(qft(8)).allclose(result.state)
 
     def test_explicit_backend_overrides_auto(self, sweep_machine):
         with _session(sweep_machine) as session:
-            result = session.run(qft(8), backend="offload").result
+            result = session.run(qft(8), backend="offload").result()
         assert result.backend == "offload"
 
     def test_unknown_backend_rejected(self, sweep_machine):
@@ -297,8 +297,8 @@ class TestSessionJobs:
 
         def two_draws(seed):
             with _session(sweep_machine, seed=seed) as session:
-                first = session.run(circuit, shots=64).result.samples
-                second = session.run(circuit, shots=64).result.samples
+                first = session.run(circuit, shots=64).result().samples
+                second = session.run(circuit, shots=64).result().samples
             return first, second
 
         a1, a2 = two_draws(seed=7)
@@ -311,15 +311,15 @@ class TestSessionJobs:
     def test_run_seed_override(self, sweep_machine):
         circuit = qft(8)
         with _session(sweep_machine) as session:
-            x = session.run(circuit, shots=32, seed=11).result.samples
-            y = session.run(circuit, shots=32, seed=11).result.samples
+            x = session.run(circuit, shots=32, seed=11).result().samples
+            y = session.run(circuit, shots=32, seed=11).result().samples
         assert np.array_equal(x, y)
 
     def test_observables(self, sweep_machine):
         circuit = vqc(8, seed=4)
         reference = simulate_reference(circuit)
         with _session(sweep_machine) as session:
-            result = session.run(circuit, observables=[0, (1, 2), "z0*z3"]).result
+            result = session.run(circuit, observables=[0, (1, 2), "z0*z3"]).result()
         assert result.expectation(0) == pytest.approx(reference.expectation_z(0))
         assert result.expectation((1, 2)) == pytest.approx(
             reference.expectation_z_product([1, 2])
@@ -332,7 +332,7 @@ class TestSessionJobs:
 
     def test_execute_false_returns_plan_and_timing_only(self, sweep_machine):
         with _session(sweep_machine) as session:
-            result = session.run(qft(8), execute=False).result
+            result = session.run(qft(8), execute=False).modelled()
         assert result.state is None and result.samples is None
         assert result.timing.total_seconds > 0
         assert result.plan.num_stages >= 1
@@ -340,7 +340,7 @@ class TestSessionJobs:
     def test_counts_and_summary(self, sweep_machine):
         with _session(sweep_machine) as session:
             job = session.run(qft(8), shots=16)
-        result = job.result
+        result = job.result()
         assert sum(result.counts().values()) == 16
         assert job.summary()["num_circuits"] == 1
         assert result.summary()["circuit"] == "qft_8"
