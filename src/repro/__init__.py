@@ -54,6 +54,7 @@ from .errors import (
     CacheCorruptionError,
     Deadline,
     DeadlineExceeded,
+    IntegrityError,
     JobCancelledError,
     KernelError,
     PermanentError,
@@ -64,6 +65,7 @@ from .errors import (
     ServiceClosedError,
     SessionClosedError,
     ShardIOError,
+    SpecParseError,
     StateValidationError,
     StaticCheckError,
     TenantQuotaError,
@@ -77,9 +79,11 @@ from .core import (
 )
 from .planner import PassManager, available_presets, build_plan, register_preset
 from .runtime import (
+    CheckpointConfig,
     FaultInjector,
     FaultPlan,
     FaultSpec,
+    IntegrityConfig,
     TimingBreakdown,
     compile_plan,
     execute_plan,
@@ -87,13 +91,15 @@ from .runtime import (
 )
 from .service import (
     AdmissionPolicy,
+    JobJournal,
     SharedPlanStore,
     SimulationService,
+    replay_journal,
 )
 from .session import Job, JobStatus, Result, Session
 from .sim import CompiledProgram, StateVector, simulate_reference
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Circuit",
@@ -139,6 +145,8 @@ __all__ = [
     "StaticCheckError",
     "DeadlineExceeded",
     "CacheCorruptionError",
+    "IntegrityError",
+    "SpecParseError",
     "SessionClosedError",
     "ServiceClosedError",
     "QueueFullError",
@@ -149,6 +157,11 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
+    # Durable execution: checkpoints, integrity monitors, job journal.
+    "CheckpointConfig",
+    "IntegrityConfig",
+    "JobJournal",
+    "replay_journal",
     # Static verification layer.
     "CheckReport",
     "verify_plan",

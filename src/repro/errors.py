@@ -38,6 +38,7 @@ __all__ = [
     "CacheCorruptionError",
     "Deadline",
     "DeadlineExceeded",
+    "IntegrityError",
     "JobCancelledError",
     "KernelError",
     "PermanentError",
@@ -48,6 +49,7 @@ __all__ = [
     "ServiceClosedError",
     "SessionClosedError",
     "ShardIOError",
+    "SpecParseError",
     "StateValidationError",
     "StaticCheckError",
     "TenantQuotaError",
@@ -139,6 +141,15 @@ class TenantQuotaError(AdmissionError):
     still submit — this is per-tenant backpressure, not global)."""
 
 
+class SpecParseError(AdmissionError, ValueError):
+    """A textual circuit spec (one ``submit_file``/``submit_many`` line)
+    failed to parse.
+
+    Per-job, not per-batch: the service rejects only the malformed line as
+    a typed job failure and admits the rest of the batch.  Permanent — the
+    same text parses the same way on every retry."""
+
+
 class JobCancelledError(PermanentError, RuntimeError):
     """The job was cancelled before it produced a result; ``result()``
     re-raises this on every later call."""
@@ -150,6 +161,18 @@ class DeadlineExceeded(PermanentError, TimeoutError):
 
 class CacheCorruptionError(TransientError, RuntimeError):
     """A cached plan entry failed its integrity check (evict and replan)."""
+
+
+class IntegrityError(PermanentError, RuntimeError):
+    """A runtime integrity monitor detected corruption: state norm drift
+    beyond tolerance, a shard checksum mismatch between stages, or a
+    tampered durable record (checkpoint/journal) that must never be
+    trusted.
+
+    Permanent by design — retrying on corrupted state would silently
+    propagate garbage; the recovery story is discarding the corrupt
+    artifact (evict the checkpoint, skip the journal record, rerun from a
+    trusted point)."""
 
 
 class SessionClosedError(PermanentError, RuntimeError):

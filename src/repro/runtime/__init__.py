@@ -1,17 +1,32 @@
 """Execution runtime: plan compilation, functional executors, sharding, DRAM offload, parallel shard scheduling, and the timing model."""
 
+from .checkpoint import (
+    Checkpoint,
+    CheckpointConfig,
+    find_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
 from .compile import clear_program_cache, compile_plan, compiled_program_for
 from .executor import ExecutionTrace, execute_plan, trace_for_program
 from .faults import FaultInjector, FaultPlan, FaultSpec
+from .integrity import IntegrityConfig, IntegrityMonitor
 from .offload import OffloadStats, WorkerStats, execute_plan_offloaded
 from .parallel import ParallelRuntime, execute_plan_parallel
 from .sharding import QubitLayout, permutation_axes, permute_state, shard_slices
 from .timeline import TimingBreakdown, model_simulation_time
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointConfig",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "IntegrityConfig",
+    "IntegrityMonitor",
+    "find_checkpoint",
+    "load_checkpoint",
+    "write_checkpoint",
     "clear_program_cache",
     "compile_plan",
     "compiled_program_for",

@@ -16,6 +16,9 @@ Sites (:data:`SITES`):
 ``compile``      plan → :class:`CompiledProgram` / segment-op lowering
 ``worker_start`` a worker thread picking up its shard assignment
 ``cache_rebind`` a structural-cache hit re-binding a cached plan
+``checkpoint_write`` a stage-boundary checkpoint streaming to disk
+``checkpoint_load``  a checkpoint read back for ``resume_from=``
+``journal_append``   a service write-ahead journal record append
 ===============  ===========================================================
 
 A :class:`FaultPlan` is a list of :class:`FaultSpec` triggers.  Each spec
@@ -56,6 +59,7 @@ from .. import errors as _errors
 from ..errors import ReproError, TransientError, PermanentError
 
 __all__ = [
+    "CRASH_EXIT_CODE",
     "SITES",
     "FaultInjector",
     "FaultPlan",
@@ -63,6 +67,7 @@ __all__ = [
     "activate",
     "active_injector",
     "check",
+    "crash_after_stage",
     "deactivate",
 ]
 
@@ -74,6 +79,9 @@ SITES = (
     "compile",
     "worker_start",
     "cache_rebind",
+    "checkpoint_write",
+    "checkpoint_load",
+    "journal_append",
 )
 
 #: Default error class raised per site when a spec just says "transient" /
@@ -85,6 +93,9 @@ _SITE_TRANSIENT_DEFAULT = {
     "compile": TransientError,
     "worker_start": TransientError,
     "cache_rebind": _errors.CacheCorruptionError,
+    "checkpoint_write": _errors.ShardIOError,
+    "checkpoint_load": _errors.CacheCorruptionError,
+    "journal_append": _errors.ShardIOError,
 }
 _SITE_PERMANENT_DEFAULT = {
     "shard_load": PermanentError,
@@ -93,6 +104,9 @@ _SITE_PERMANENT_DEFAULT = {
     "compile": _errors.KernelError,
     "worker_start": PermanentError,
     "cache_rebind": _errors.CacheCorruptionError,
+    "checkpoint_write": PermanentError,
+    "checkpoint_load": _errors.CacheCorruptionError,
+    "journal_append": _errors.IntegrityError,
 }
 
 
@@ -336,3 +350,48 @@ def check(site: str, worker: int | None = None, shard: int | None = None) -> Non
     injector = _active if _active is not None else _load_env_injector()
     if injector is not None:
         injector.check(site, worker=worker, shard=shard)
+
+
+# ---------------------------------------------------------------------------
+# Crash harness — deterministic hard kill for durability tests
+# ---------------------------------------------------------------------------
+
+#: Exit status used by :func:`crash_after_stage` so a harness parent can
+#: distinguish the deliberate crash from any organic failure.
+CRASH_EXIT_CODE = 87
+
+_crash_stage: int | None = None
+_crash_loaded = False
+
+
+def _load_crash_stage() -> int | None:
+    """Parse ``REPRO_CRASH`` once (format ``after_stage:<k>``)."""
+    global _crash_stage, _crash_loaded
+    if not _crash_loaded:
+        spec = os.environ.get("REPRO_CRASH", "").strip()
+        if spec:
+            kind, _, value = spec.partition(":")
+            if kind.strip() != "after_stage" or not value.strip().lstrip("-").isdigit():
+                raise ValueError(  # lint: config-error
+                    f"bad REPRO_CRASH spec {spec!r}; expected after_stage:<k>"
+                )
+            _crash_stage = int(value)
+        _crash_loaded = True
+    return _crash_stage
+
+
+def crash_after_stage(stage_index: int) -> None:
+    """Hard-kill the process after completing *stage_index*, if armed.
+
+    Unlike the fault sites above this is not a :data:`SITES` entry — it is
+    a separate harness armed only through the ``REPRO_CRASH`` environment
+    variable (``after_stage:<k>``), because it does not *raise*: it calls
+    ``os._exit`` with :data:`CRASH_EXIT_CODE`, simulating a power loss /
+    SIGKILL with no chance to run cleanup.  The executors call it at each
+    stage boundary *after* the checkpoint write, so a crashed run's latest
+    checkpoint covers stage ``k`` exactly.  Deliberately process-global and
+    single-shot semantics-free: the armed process dies at the first
+    matching boundary.
+    """
+    if _load_crash_stage() == stage_index:
+        os._exit(CRASH_EXIT_CODE)

@@ -57,6 +57,13 @@ from ..sim.fusion import fused_unitary_cached
 from ..sim.program import compile_unitary_op, thread_workspace
 from ..sim.statevector import StateVector
 from . import faults
+from .checkpoint import (
+    CheckpointConfig,
+    checkpoint_fingerprint,
+    find_checkpoint,
+    write_checkpoint,
+)
+from .integrity import IntegrityMonitor
 from .sharding import QubitLayout, permute_state, shard_slices
 
 __all__ = [
@@ -111,6 +118,19 @@ class OffloadStats:
     #: Segments degraded to the uncompiled per-gate path after a compile
     #: failure.
     fallbacks: int = 0
+    #: Stage-boundary checkpoints durably written this execution.
+    checkpoints_written: int = 0
+    #: Checkpoint writes that failed (the run continues — checkpointing is
+    #: advisory and never fails an execution).
+    checkpoint_errors: int = 0
+    #: Last completed stage restored from a checkpoint (-1 = cold start).
+    resumed_from_stage: int = -1
+    #: Stages skipped on resume (their work was recovered from disk).
+    stages_skipped: int = 0
+    #: Integrity-monitor boundary checks performed (0 = monitor off).
+    integrity_checks: int = 0
+    #: Worst relative state-norm drift the monitor observed.
+    max_norm_drift: float = 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -559,6 +579,9 @@ def execute_plan_offloaded(
     initial_state: StateVector | None = None,
     deadline: "Deadline | float | None" = None,
     retry: RetryPolicy | None = None,
+    checkpoint: "CheckpointConfig | str | None" = None,
+    resume_from=None,
+    monitor=None,
 ) -> tuple[StateVector, OffloadStats]:
     """Execute *plan* shard by shard, as the DRAM-offloading runtime would.
 
@@ -574,6 +597,16 @@ def execute_plan_offloaded(
     computation finished), a failed segment-op compile degrades to the
     uncompiled per-gate path, and *deadline* is checked cooperatively at
     stage/segment/shard boundaries (:class:`repro.errors.DeadlineExceeded`).
+
+    Durability: *checkpoint* (a :class:`CheckpointConfig` or directory
+    path) snapshots the DRAM state at stage boundaries; *resume_from* (a
+    checkpoint file or directory) validates the snapshot against the
+    plan's fingerprint and restarts after its last completed stage,
+    bit-exact with an uninterrupted run.  A failed checkpoint write is
+    counted (``checkpoint_errors``) and never fails the run.  *monitor*
+    (``True`` / :class:`IntegrityConfig` / :class:`IntegrityMonitor`)
+    enables per-stage norm-drift and inter-stage checksum checks that
+    raise :class:`repro.errors.IntegrityError` on corruption.
     """
     n = plan.num_qubits
     machine.validate(n)
@@ -599,8 +632,40 @@ def execute_plan_offloaded(
     shard_buf = tracked_empty(1 << local)
     shard_scratch = tracked_empty(1 << local)
 
-    for stage in plan.stages:
+    ckpt = CheckpointConfig.coerce(checkpoint) if checkpoint is not None else None
+    mon = IntegrityMonitor.coerce(monitor)
+    fingerprint = (
+        checkpoint_fingerprint(plan)
+        if ckpt is not None or resume_from is not None
+        else ""
+    )
+    start_stage = 0
+    if resume_from is not None:
+        ck = find_checkpoint(
+            resume_from,
+            fingerprint=fingerprint,
+            tag=ckpt.tag if ckpt is not None else "run",
+        )
+        if ck is not None:
+            if ck.num_qubits != n or ck.state.shape != state.shape \
+                    or ck.state.dtype != state.dtype:
+                raise PlanValidationError(
+                    f"checkpoint {ck.path.name} does not match the plan's "
+                    f"state ({ck.num_qubits} qubits, {ck.state.dtype})"
+                )
+            np.copyto(state, ck.state)
+            layout.update(ck.layout_mapping())
+            start_stage = ck.stage_index + 1
+            stats.resumed_from_stage = ck.stage_index
+            stats.stages_skipped = start_stage
+    num_stages = len(plan.stages)
+
+    for stage_index, stage in enumerate(plan.stages):
+        if stage_index < start_stage:
+            continue
         deadline.check("stage")
+        if mon is not None:
+            mon.stage_begin(state, stage_index)
         target = stage.partition.logical_to_physical()
         if target != layout.logical_to_physical():
             permuted = permute_state(state, layout, target, out=state_scratch)
@@ -678,6 +743,32 @@ def execute_plan_offloaded(
                 state, state_scratch = state_scratch, state
         stats.per_stage_loads.append(stage_loads)
         stats.num_stages += 1
+        if mon is not None:
+            mon.stage_complete(state, stage_index)
+        if (
+            ckpt is not None
+            and stage_index < num_stages - 1
+            and (stage_index + 1) % ckpt.every == 0
+        ):
+            try:
+                write_checkpoint(
+                    ckpt,
+                    fingerprint=fingerprint,
+                    num_qubits=n,
+                    stage_index=stage_index,
+                    layout=layout.logical_to_physical(),
+                    state=state,
+                )
+                stats.checkpoints_written += 1
+            except (ReproError, OSError):
+                # Advisory: a failed snapshot costs resumability, never
+                # the run itself.
+                stats.checkpoint_errors += 1
+        faults.crash_after_stage(stage_index)
+
+    if mon is not None:
+        stats.integrity_checks = mon.stages_checked
+        stats.max_norm_drift = mon.max_norm_drift
 
     identity = {q: q for q in range(n)}
     if layout.logical_to_physical() != identity:

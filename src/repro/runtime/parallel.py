@@ -44,6 +44,7 @@ allocated per problem.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -66,6 +67,13 @@ from ..errors import (
 from ..sim.apply import apply_gate_buffered, tracked_empty
 from ..sim.statevector import StateVector
 from . import faults
+from .checkpoint import (
+    CheckpointConfig,
+    checkpoint_fingerprint,
+    find_checkpoint,
+    write_checkpoint,
+)
+from .integrity import IntegrityMonitor
 from .offload import (
     OffloadStats,
     WorkerStats,
@@ -170,6 +178,12 @@ class ParallelRuntime:
         #: and segment caches are shared state, so callers take turns at
         #: execution granularity while shards parallelise within each turn.
         self._exec_lock = threading.RLock()
+        #: Exec-lock contention accounting (surfaced in SessionStats): how
+        #: many executions took the lock, and the total time spent waiting
+        #: for it while another job held it.  Lets the service watchdog
+        #: tell a stuck job from pool convoying.
+        self.exec_lock_acquisitions = 0
+        self.exec_lock_wait_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Pool / buffer management
@@ -440,6 +454,9 @@ class ParallelRuntime:
         initial_state: StateVector | None = None,
         schedule_key: str | None = None,
         deadline: "Deadline | float | None" = None,
+        checkpoint: "CheckpointConfig | str | None" = None,
+        resume_from=None,
+        monitor=None,
     ) -> tuple[StateVector, OffloadStats]:
         """Execute *plan*, scheduling each stage's shards across workers.
 
@@ -468,11 +485,30 @@ class ParallelRuntime:
         plan's shards still fan out over every worker.  Concurrent callers
         interleave at execution granularity (per batch item), so a long
         batch does not monopolise the pool against a competing job.
+
+        ``checkpoint`` / ``resume_from`` / ``monitor`` enable the
+        durability layer — stage-boundary snapshots, fingerprint-validated
+        resume and runtime integrity checks — with the exact semantics of
+        :func:`repro.runtime.offload.execute_plan_offloaded`.
         """
-        with self._exec_lock:
+        # Contention instrumentation: the uncontended path is one failed
+        # try-acquire (cheap); only a genuinely contended acquisition pays
+        # for the two monotonic reads.
+        if self._exec_lock.acquire(blocking=False):
+            self.exec_lock_acquisitions += 1
+        else:
+            started = time.monotonic()
+            self._exec_lock.acquire()
+            self.exec_lock_wait_seconds += time.monotonic() - started
+            self.exec_lock_acquisitions += 1
+        try:
             return self._execute_exclusive(
-                plan, initial_state, schedule_key, deadline
+                plan, initial_state, schedule_key, deadline,
+                checkpoint=checkpoint, resume_from=resume_from,
+                monitor=monitor,
             )
+        finally:
+            self._exec_lock.release()
 
     def _execute_exclusive(
         self,
@@ -480,12 +516,22 @@ class ParallelRuntime:
         initial_state: StateVector | None = None,
         schedule_key: str | None = None,
         deadline: "Deadline | float | None" = None,
+        checkpoint: "CheckpointConfig | str | None" = None,
+        resume_from=None,
+        monitor=None,
     ) -> tuple[StateVector, OffloadStats]:
         machine = self.machine
         n = plan.num_qubits
         machine.validate(n)
         deadline = Deadline.resolve(deadline)
         self._ensure_pools()
+        ckpt = CheckpointConfig.coerce(checkpoint) if checkpoint is not None else None
+        mon = IntegrityMonitor.coerce(monitor)
+        fingerprint = (
+            checkpoint_fingerprint(plan)
+            if ckpt is not None or resume_from is not None
+            else ""
+        )
 
         # The result array is the only per-execution state-sized
         # allocation; the DRAM scratch is reused across calls.  Layout
@@ -511,12 +557,39 @@ class ParallelRuntime:
         #: Workers quarantined for the remainder of *this* execution.
         quarantined: set[int] = set()
 
+        schedule = self._plan_schedule(plan, schedule_key)
+        num_stages = len(schedule)
+        layout = QubitLayout(n)
+        start_stage = 0
+        if resume_from is not None:
+            ck = find_checkpoint(
+                resume_from,
+                fingerprint=fingerprint,
+                tag=ckpt.tag if ckpt is not None else "run",
+            )
+            if ck is not None:
+                if ck.num_qubits != n or ck.state.shape != state.shape \
+                        or ck.state.dtype != state.dtype:
+                    raise PlanValidationError(
+                        f"checkpoint {ck.path.name} does not match the "
+                        f"plan's state ({ck.num_qubits} qubits, "
+                        f"{ck.state.dtype})"
+                    )
+                np.copyto(state, ck.state)
+                layout.update(ck.layout_mapping())
+                start_stage = ck.stage_index + 1
+                stats.resumed_from_stage = ck.stage_index
+                stats.stages_skipped = start_stage
+
         try:
-            layout = QubitLayout(n)
-            for target, logical_to_physical, segments in self._plan_schedule(
-                plan, schedule_key
+            for stage_index, (target, logical_to_physical, segments) in enumerate(
+                schedule
             ):
+                if stage_index < start_stage:
+                    continue
                 deadline.check("stage")
+                if mon is not None:
+                    mon.stage_begin(state, stage_index)
                 if target != layout.logical_to_physical():
                     permuted = permute_state(state, layout, target, out=state_scratch)
                     if permuted is not state:
@@ -558,6 +631,28 @@ class ParallelRuntime:
                         state, state_scratch = state_scratch, state
                 stats.per_stage_loads.append(stage_loads)
                 stats.num_stages += 1
+                if mon is not None:
+                    mon.stage_complete(state, stage_index)
+                if (
+                    ckpt is not None
+                    and stage_index < num_stages - 1
+                    and (stage_index + 1) % ckpt.every == 0
+                ):
+                    try:
+                        write_checkpoint(
+                            ckpt,
+                            fingerprint=fingerprint,
+                            num_qubits=n,
+                            stage_index=stage_index,
+                            layout=layout.logical_to_physical(),
+                            state=state,
+                        )
+                        stats.checkpoints_written += 1
+                    except (ReproError, OSError):
+                        # Advisory: losing a snapshot costs resumability,
+                        # never the run itself.
+                        stats.checkpoint_errors += 1
+                faults.crash_after_stage(stage_index)
 
             identity = {q: q for q in range(n)}
             if layout.logical_to_physical() != identity:
@@ -572,6 +667,9 @@ class ParallelRuntime:
                 stats.retries += worker.retries
             self.retries += stats.retries
 
+        if mon is not None:
+            stats.integrity_checks = mon.stages_checked
+            stats.max_norm_drift = mon.max_norm_drift
         if state is cached:
             # The caller gets the cached array; keep the fresh one instead.
             self._dram_scratch[n] = fresh
@@ -685,6 +783,9 @@ class ParallelRuntime:
         initial_states: Sequence[StateVector | None] | None = None,
         schedule_keys: str | Sequence[str | None] | None = None,
         deadline: "Deadline | float | None" = None,
+        checkpoint: "CheckpointConfig | str | None" = None,
+        resume_from=None,
+        monitor=None,
     ) -> list[tuple[StateVector, OffloadStats]]:
         """Execute a batch of problems, amortising planning and buffers.
 
@@ -702,6 +803,12 @@ class ParallelRuntime:
         identity caching.  ``deadline`` bounds the *whole batch*: one
         budget shared by every item, checked at every stage/segment/shard
         boundary of each execution.
+
+        ``checkpoint`` / ``resume_from`` / ``monitor`` apply the
+        durability layer per item: each batch item checkpoints under its
+        own derived tag (``<tag>-i<index>`` once the batch has more than
+        one item), so snapshots of different items sharing a directory
+        never collide and each item resumes from its own latest boundary.
 
         Returns one ``(final_state, stats)`` per problem, in order.  The
         problems run back to back — shards are the parallel dimension, so
@@ -739,10 +846,24 @@ class ParallelRuntime:
                     f"{len(keys)} schedule keys but {len(items)} batch items"
                 )
         deadline = Deadline.resolve(deadline)
-        return [
-            self.execute(plan, state, schedule_key=key, deadline=deadline)
-            for (plan, state), key in zip(items, keys)
-        ]
+        base_ckpt = (
+            CheckpointConfig.coerce(checkpoint) if checkpoint is not None else None
+        )
+        results = []
+        for i, ((plan, state), key) in enumerate(zip(items, keys)):
+            item_ckpt = base_ckpt
+            if base_ckpt is not None and len(items) > 1:
+                item_ckpt = dataclasses.replace(
+                    base_ckpt, tag=f"{base_ckpt.tag}-i{i}"
+                )
+            results.append(
+                self.execute(
+                    plan, state, schedule_key=key, deadline=deadline,
+                    checkpoint=item_ckpt, resume_from=resume_from,
+                    monitor=monitor,
+                )
+            )
+        return results
 
 
 def execute_plan_parallel(

@@ -1,11 +1,13 @@
 """Multi-tenant simulation service over one shared session.
 
 See ``docs/service.md`` for the architecture: admission control, priority
-+ weighted fair-share scheduling, deferred future-backed jobs, and the
-persistent cross-tenant plan cache.
++ weighted fair-share scheduling, deferred future-backed jobs, the
+persistent cross-tenant plan cache, and the write-ahead job journal that
+makes a restarted service recover every accepted job.
 """
 
 from .admission import AdmissionController, AdmissionPolicy
+from .journal import JOURNAL_VERSION, JobJournal, JournalReplay, replay_journal
 from .persistence import SharedPlanStore, SharedStoreStats
 from .scheduling import FairShareScheduler, QueuedJob, TenantQueue
 from .service import SimulationService, TenantStats, parse_circuit_spec
@@ -14,6 +16,9 @@ __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
     "FairShareScheduler",
+    "JOURNAL_VERSION",
+    "JobJournal",
+    "JournalReplay",
     "QueuedJob",
     "SharedPlanStore",
     "SharedStoreStats",
@@ -21,4 +26,5 @@ __all__ = [
     "TenantQueue",
     "TenantStats",
     "parse_circuit_spec",
+    "replay_journal",
 ]

@@ -1,0 +1,283 @@
+"""Write-ahead job journal: the service's crash-recovery substrate.
+
+Every job a :class:`~repro.service.SimulationService` accepts is recorded
+*before* it is queued, and every state transition afterwards — an
+append-only JSONL file where each line is one checksummed record::
+
+    {"v": 1, "seq": 12, "type": "running", "job": 7, ..., "check": "…"}
+
+``check`` is a blake2b digest over the record's canonical JSON (sorted
+keys, no whitespace, ``check`` excluded), so any tampered or torn line is
+detected on replay.  Appends are flushed (and fsynced by default) before
+the mutation they describe proceeds — hence *write-ahead*: after a crash
+the journal is a superset of what actually happened, never a subset.
+
+Record types
+------------
+``submitted``
+    Admission succeeded.  Carries the tenant, priority/weight/cost, the
+    circuits serialized as OpenQASM, and the run kwargs.  ``durable`` is
+    false when the payload cannot be re-materialised from text (a circuit
+    that fails QASM round-tripping, non-JSON run kwargs) — such jobs are
+    journalled for accounting but *abandoned* on recovery.
+``running`` / ``completed`` / ``failed`` / ``cancelled``
+    State transitions, keyed by job id.
+``recovered`` / ``abandoned``
+    Written by a restarted service for every orphan it re-admits or gives
+    up on, so a second crash replays correctly.
+
+Replay (:func:`replay_journal`) tolerates a **torn tail** — a crash mid
+append leaves at most one partial final line, which is counted and
+skipped — but treats a bad record *before* the tail as corruption:
+counted, skipped, and (with ``strict=True``) raised as
+:class:`~repro.errors.IntegrityError`.  A corrupt record is never
+trusted: its job simply keeps its last intact state.
+
+Fault injection: appends pass through the ``journal_append`` site and are
+retried under a bounded policy; when the budget is exhausted the journal
+**degrades to non-durable** (counted in ``append_errors``, ``degraded``
+flips) rather than failing submissions — unless ``strict=True``, where
+the typed error propagates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import IntegrityError, ReproError, RetryPolicy
+from ..runtime import faults
+from ..runtime.checkpoint import fsync_directory, fsync_file
+
+__all__ = ["JOURNAL_VERSION", "JobJournal", "JournalReplay", "replay_journal"]
+
+#: On-disk record version; replay rejects records from other versions.
+JOURNAL_VERSION = 1
+
+_FILENAME = "journal.jsonl"
+
+#: Journal appends retry transient injected/OS failures under this bounded
+#: policy before degrading (kept tiny: an append blocks a submission).
+_APPEND_RETRY = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.01)
+
+
+def _checked(record: dict) -> dict:
+    """Return *record* with its ``check`` digest filled in."""
+    core = {k: v for k, v in record.items() if k != "check"}
+    digest = hashlib.blake2b(
+        json.dumps(core, sort_keys=True, separators=(",", ":")).encode(),
+        digest_size=16,
+    ).hexdigest()
+    return {**core, "check": digest}
+
+
+def _verify(record: dict) -> bool:
+    return (
+        isinstance(record, dict)
+        and isinstance(record.get("check"), str)
+        and _checked(record)["check"] == record["check"]
+    )
+
+
+@dataclass
+class JournalReplay:
+    """The outcome of replaying one journal file."""
+
+    #: Last intact record per job id (the job's terminal journal state),
+    #: merged over the job's ``submitted`` payload.
+    jobs: dict[int, dict] = field(default_factory=dict)
+    records_read: int = 0
+    #: Partial/garbled final line (a crash mid-append); tolerated.
+    torn_records: int = 0
+    #: Bad records *before* the tail — tampering or bit rot; skipped.
+    corrupt_records: int = 0
+    last_seq: int = -1
+    last_job_id: int = -1
+
+    def orphans(self) -> list[dict]:
+        """Jobs the crashed process accepted but never finished.
+
+        Sorted by job id (admission order).  Includes both queued
+        (``submitted``) and in-flight (``running``) jobs; the caller
+        decides re-admission vs abandonment via each record's
+        ``durable`` flag.
+        """
+        return [
+            payload
+            for _jid, payload in sorted(self.jobs.items())
+            if payload.get("type") in ("submitted", "running", "recovered")
+        ]
+
+
+def replay_journal(path: Path, strict: bool = False) -> JournalReplay:
+    """Replay the journal at *path* (missing file → empty replay)."""
+    replay = JournalReplay()
+    path = Path(path)
+    if not path.exists():
+        return replay
+    lines = path.read_bytes().split(b"\n")
+    # A trailing newline leaves one empty chunk; drop it so the torn-tail
+    # rule sees the real last record.
+    if lines and not lines[-1]:
+        lines.pop()
+    for i, line in enumerate(lines):
+        bad = None
+        try:
+            record = json.loads(line)
+        except ValueError:
+            bad = "not JSON"
+            record = None
+        if record is not None and (
+            not _verify(record) or record.get("v") != JOURNAL_VERSION
+        ):
+            bad = "failed its integrity digest"
+        if bad is not None:
+            if i == len(lines) - 1:
+                replay.torn_records += 1
+                continue
+            replay.corrupt_records += 1
+            if strict:
+                raise IntegrityError(
+                    f"journal record {i} {bad}: {line[:80]!r}",
+                    site="journal_append",
+                    record=i,
+                )
+            continue
+        replay.records_read += 1
+        replay.last_seq = max(replay.last_seq, int(record.get("seq", -1)))
+        jid = record.get("job")
+        if not isinstance(jid, int):
+            continue
+        replay.last_job_id = max(replay.last_job_id, jid)
+        previous = replay.jobs.get(jid, {})
+        # Later records override the state but keep the submitted
+        # payload's fields (circuits, kwargs, tenant, durable).
+        replay.jobs[jid] = {**previous, **record}
+    return replay
+
+
+class JobJournal:
+    """Append-only, checksummed, fsynced job journal for one service.
+
+    Thread-safe: submissions and the scheduler thread append concurrently.
+    ``fsync=False`` trades durability of the last few records for append
+    latency (the tests use it; production keeps the default).
+    """
+
+    def __init__(
+        self,
+        directory: "str | Path",
+        *,
+        fsync: bool = True,
+        strict: bool = False,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / _FILENAME
+        self.fsync = fsync
+        self.strict = strict
+        self._lock = threading.Lock()
+        self._handle = None
+        #: Append accounting (surfaced in service stats).
+        self.appends = 0
+        self.append_errors = 0
+        #: Set once appends exhausted their retry budget and the journal
+        #: stopped persisting (non-strict mode only).
+        self.degraded = False
+        self._seq = 0
+
+    @property
+    def checkpoint_dir(self) -> Path:
+        """Where this journal's jobs write their stage checkpoints."""
+        return self.directory / "checkpoints"
+
+    def replay(self) -> JournalReplay:
+        """Replay the existing file and continue its sequence numbering."""
+        replay = replay_journal(self.path, strict=self.strict)
+        self._seq = replay.last_seq + 1
+        return replay
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def _ensure_handle(self):
+        if self._handle is None:
+            self._handle = open(self.path, "ab")
+        return self._handle
+
+    def append(self, type: str, job: int, **fields) -> bool:
+        """Durably append one record; True when it reached the journal.
+
+        Never raises in non-strict mode: a failed append (after bounded
+        retries) degrades the journal to non-durable and returns False —
+        losing crash recoverability must not fail live submissions.
+        """
+        with self._lock:
+            if self.degraded:
+                self.append_errors += 1
+                return False
+            record = _checked(
+                {"v": JOURNAL_VERSION, "seq": self._seq, "type": type,
+                 "job": job, **fields}
+            )
+            line = (
+                json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+                + b"\n"
+            )
+            attempt = 1
+            while True:
+                try:
+                    faults.check("journal_append")
+                    handle = self._ensure_handle()
+                    handle.write(line)
+                    if self.fsync:
+                        fsync_file(handle)
+                    else:
+                        handle.flush()
+                    self._seq += 1
+                    self.appends += 1
+                    return True
+                except (ReproError, OSError) as exc:
+                    if isinstance(exc, ReproError) and not exc.transient:
+                        # A permanent typed failure (e.g. an injected
+                        # IntegrityError): no retry can help.
+                        self.append_errors += 1
+                        if self.strict:
+                            raise
+                        self.degraded = True
+                        return False
+                    if attempt >= _APPEND_RETRY.max_attempts:
+                        self.append_errors += 1
+                        if self.strict:
+                            raise
+                        self.degraded = True
+                        return False
+                    _APPEND_RETRY.sleep(attempt)
+                    attempt += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.flush()
+                    if self.fsync:
+                        os.fsync(self._handle.fileno())
+                        fsync_directory(self.directory)
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+                self._handle.close()
+                self._handle = None
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "appends": self.appends,
+                "append_errors": self.append_errors,
+                "degraded": self.degraded,
+            }

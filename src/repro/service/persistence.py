@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..errors import CacheCorruptionError
+from ..runtime.checkpoint import atomic_write_bytes
 from ..session.cache import SKELETON_VERSION, skeleton_fingerprint
 
 __all__ = ["SharedPlanStore", "SharedStoreStats"]
@@ -216,20 +217,20 @@ class SharedPlanStore:
         if self._dir is None:
             return
         payload = {"key_repr": repr(key), "skeleton": skeleton}
-        path = self._path(digest)
-        tmp = path.with_suffix(".tmp")
         try:
-            tmp.write_text(json.dumps(payload, sort_keys=True))
-            tmp.replace(path)
+            # Crash-safe write (tmp + fsync + rename + directory fsync),
+            # same discipline as checkpoints and the job journal: a
+            # power loss mid-save must never leave a torn entry that a
+            # restarted service would reject and evict.
+            atomic_write_bytes(
+                self._path(digest),
+                json.dumps(payload, sort_keys=True).encode(),
+            )
             self.stats.saved += 1
         except OSError:
             # Persistence is an accelerator, not a dependency: a full or
             # read-only disk degrades to memory-only operation.
             self.stats.save_errors += 1
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
 
     def _load_all(self) -> None:
         for path in sorted(self._dir.glob("*.json")):

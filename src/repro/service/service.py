@@ -20,6 +20,12 @@ cache hierarchy) for many logical tenants:
 * Per-tenant accounting (waits, turnarounds, cache hit rates) and global
   service counters are maintained continuously and snapshot via
   :meth:`SimulationService.stats`.
+* With ``journal_dir=`` the service is **durable**: every accepted job is
+  recorded in a write-ahead :class:`~repro.service.JobJournal` before it
+  queues, every state transition after, and a restarted service replays
+  the journal, re-admitting orphaned jobs (resuming in-flight work from
+  their latest stage checkpoint).  A watchdog thread monitors the
+  scheduler heartbeat and flags stuck jobs against their modelled time.
 
 The scheduler thread is the only thread that executes on the shared
 session; deferred jobs returned by ``Session.run(execute=False)`` resolve
@@ -28,17 +34,21 @@ through the session's own lock, so both paths compose safely.
 
 from __future__ import annotations
 
+import itertools
+import json
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..circuits import Circuit, from_qasm
+from ..circuits import Circuit, from_qasm, to_qasm
 from ..circuits.library import get_circuit
-from ..errors import ServiceClosedError
+from ..errors import ServiceClosedError, SpecParseError
+from ..runtime.checkpoint import CheckpointConfig
 from ..session import Job, Session
 from .admission import AdmissionController, AdmissionPolicy
+from .journal import JobJournal
 from .persistence import SharedPlanStore
 from .scheduling import FairShareScheduler, QueuedJob
 
@@ -64,6 +74,8 @@ class TenantStats:
     plans_built: int = 0
     wait_seconds: float = 0.0
     turnaround_seconds: float = 0.0
+    #: Jobs the watchdog flagged as exceeding their modelled-time budget.
+    stuck_jobs: int = 0
 
     def as_dict(self) -> dict:
         dispatched = self.completed + self.failed
@@ -78,6 +90,7 @@ class TenantStats:
             "cache_hits": self.cache_hits,
             "shared_cache_hits": self.shared_cache_hits,
             "plans_built": self.plans_built,
+            "stuck_jobs": self.stuck_jobs,
             "mean_wait_seconds": (
                 self.wait_seconds / dispatched if dispatched else 0.0
             ),
@@ -102,6 +115,14 @@ class _WorkItem:
     tenant: str
     submitted_at: float
     entry: "QueuedJob | None" = field(default=None)
+    #: Journal id (assigned at admission when journalling is on).
+    job_id: "int | None" = None
+    #: True when this item was re-admitted from a crashed service's
+    #: journal — dispatch then resumes from the job's latest checkpoint.
+    recovered: bool = False
+    #: Admission-time modelled cluster seconds (the watchdog's budget
+    #: baseline), when the policy priced the job.
+    modelled_seconds: "float | None" = None
 
 
 def parse_circuit_spec(spec: str) -> Circuit:
@@ -111,12 +132,25 @@ def parse_circuit_spec(spec: str) -> Circuit:
     :mod:`repro.circuits.library`, e.g. ``vqc:8``) or a path to an OpenQASM
     file.  Used by :meth:`SimulationService.submit_file` and for string
     entries in :meth:`SimulationService.submit_many`.
+
+    A malformed spec raises :class:`~repro.errors.SpecParseError` — a
+    typed, *per-job* admission failure: batch intake fails only the job
+    for the bad line, never the rest of the batch.
     """
     spec = spec.strip()
-    if ":" in spec and not Path(spec).exists():
-        family, _, n = spec.partition(":")
-        return get_circuit(family.strip(), int(n))
-    return from_qasm(Path(spec).read_text(), name=Path(spec).stem)
+    try:
+        if ":" in spec and not Path(spec).exists():
+            family, _, n = spec.partition(":")
+            return get_circuit(family.strip(), int(n))
+        return from_qasm(Path(spec).read_text(), name=Path(spec).stem)
+    except SpecParseError:
+        raise
+    except Exception as exc:
+        raise SpecParseError(
+            f"cannot parse circuit spec {spec!r}: {exc}",
+            site="service.parse",
+            spec=spec,
+        ) from exc
 
 
 class SimulationService:
@@ -142,6 +176,22 @@ class SimulationService:
         same directory warms every previously planned structure.
     quantum:
         Deficit round-robin quantum (cost credited per tenant visit).
+    journal_dir:
+        Directory for the write-ahead job journal.  When given, every
+        accepted submission is journalled before it queues, dispatched
+        jobs checkpoint at stage boundaries under
+        ``journal_dir/checkpoints``, and a *restarted* service with the
+        same directory replays the journal: orphaned jobs (queued or
+        running at the crash) are re-admitted and resume from their
+        latest checkpoint; non-recoverable ones are recorded as
+        abandoned.  ``None`` (default) disables durability.
+    journal_fsync:
+        fsync each journal append (default True; tests disable it).
+    watchdog_interval:
+        Seconds between watchdog sweeps (``0`` disables the watchdog).
+    stuck_slack, stuck_grace_seconds:
+        A running job is flagged *stuck* once its wall time exceeds
+        ``stuck_grace_seconds + stuck_slack × modelled_seconds``.
     session_kwargs:
         Forwarded to the service-owned :class:`~repro.session.Session`.
     """
@@ -155,6 +205,11 @@ class SimulationService:
         store: "SharedPlanStore | None" = None,
         persist_dir: "str | Path | None" = None,
         quantum: float = 1.0,
+        journal_dir: "str | Path | None" = None,
+        journal_fsync: bool = True,
+        watchdog_interval: float = 1.0,
+        stuck_slack: float = 4.0,
+        stuck_grace_seconds: float = 30.0,
         **session_kwargs,
     ):
         if store is None:
@@ -185,10 +240,95 @@ class SimulationService:
         self.rejected = 0
         self.deduplicated = 0
         self.peak_queue_depth = 0
+        # Durability: write-ahead journal, crash recovery, watchdog.
+        self.recovered = 0
+        self.abandoned = 0
+        self.stuck_jobs = 0
+        #: Old-journal-id → re-admitted Job, for clients re-attaching
+        #: after a restart.
+        self.recovered_jobs: dict[int, Job] = {}
+        self._running_since: dict[int, tuple[float, "float | None", str]] = {}
+        self._stuck_flagged: set[int] = set()
+        self._heartbeat = time.monotonic()
+        self._watchdog_interval = watchdog_interval
+        self._stuck_slack = stuck_slack
+        self._stuck_grace_seconds = stuck_grace_seconds
+        self._watchdog_stop = threading.Event()
+        self._watchdog: "threading.Thread | None" = None
+        self._journal: "JobJournal | None" = None
+        next_job_id = 0
+        if journal_dir is not None:
+            self._journal = JobJournal(journal_dir, fsync=journal_fsync)
+            replay = self._journal.replay()
+            next_job_id = replay.last_job_id + 1
+            # Re-admit orphans before the scheduler thread exists — the
+            # queue is still private, so no locking subtleties.
+            self._recover(replay)
+        self._job_ids = itertools.count(next_job_id)
         self._thread = threading.Thread(
             target=self._scheduler_loop, name="repro-service-scheduler", daemon=True
         )
         self._thread.start()
+        if watchdog_interval > 0:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                name="repro-service-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
+
+    def _recover(self, replay) -> None:
+        """Re-admit every durable orphan from a replayed journal.
+
+        Runs in ``__init__`` before the scheduler thread starts.  Orphans
+        bypass admission control — they were already admitted by the
+        crashed process; re-rejecting them would silently drop accepted
+        work.  Each re-admitted item dispatches with ``resume_from``
+        pointing at the journal's checkpoint directory, so work that
+        crashed mid-plan restarts from its last completed stage.
+        """
+        for payload in replay.orphans():
+            jid = payload["job"]
+            tenant = payload.get("tenant", "default")
+            circuits = None
+            if payload.get("durable"):
+                try:
+                    circuits = [from_qasm(text) for text in payload["circuits"]]
+                except Exception:
+                    circuits = None
+            if circuits is None:
+                self.abandoned += 1
+                self._journal.append("abandoned", jid, tenant=tenant)
+                continue
+            run_kwargs = dict(payload.get("run_kwargs") or {})
+            job = Job.pending(
+                len(circuits),
+                backend=run_kwargs.get("backend") or "",
+                tenant=tenant,
+            )
+            item = _WorkItem(
+                jobs=[job],
+                circuits=circuits,
+                run_kwargs=run_kwargs,
+                tenant=tenant,
+                submitted_at=time.monotonic(),
+                job_id=jid,
+                recovered=True,
+            )
+            item.entry = self._scheduler.enqueue(
+                tenant,
+                item,
+                priority=int(payload.get("priority", 0)),
+                cost=len(circuits),
+                weight=float(payload.get("weight", 1.0)),
+            )
+            stats = self._tenant(tenant)
+            self.submitted += 1
+            stats.submitted += 1
+            stats.circuits += len(circuits)
+            self.recovered += 1
+            self.recovered_jobs[jid] = job
+            self._journal.append("recovered", jid, tenant=tenant)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -226,12 +366,21 @@ class SimulationService:
                         if job.cancel():
                             self.cancelled += 1
                             self._tenant(item.tenant).cancelled += 1
+                    if self._journal is not None and item.job_id is not None:
+                        self._journal.append(
+                            "cancelled", item.job_id, tenant=item.tenant
+                        )
             else:
                 while self._scheduler.pending() or self._inflight:
                     self._cond.wait(timeout=0.1)
             self._stop = True
             self._cond.notify_all()
         self._thread.join(timeout=30.0)
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=5.0)
+        if self._journal is not None:
+            self._journal.close()
         if self._owns_session:
             self.session.close()
 
@@ -292,6 +441,19 @@ class SimulationService:
                 self.rejected += 1
                 stats.rejected += 1
                 raise
+            job_id = None
+            if self._journal is not None:
+                # Write-ahead: the acceptance record must be durable
+                # before the job can queue, or a crash loses it.
+                job_id = next(self._job_ids)
+                self._journal.append(
+                    "submitted",
+                    job_id,
+                    tenant=tenant,
+                    priority=priority,
+                    weight=weight,
+                    **self._journal_payload(circuit_list, run_kwargs),
+                )
             job = Job.pending(
                 len(circuit_list),
                 backend=run_kwargs.get("backend") or "",
@@ -303,6 +465,8 @@ class SimulationService:
                 run_kwargs=dict(run_kwargs),
                 tenant=tenant,
                 submitted_at=time.monotonic(),
+                job_id=job_id,
+                modelled_seconds=modelled_seconds,
             )
             item.entry = self._scheduler.enqueue(
                 tenant,
@@ -319,6 +483,24 @@ class SimulationService:
             )
             self._cond.notify_all()
         return job
+
+    @staticmethod
+    def _journal_payload(circuit_list, run_kwargs) -> dict:
+        """The recoverable portion of a submission's journal record.
+
+        Circuits serialize as OpenQASM (bit-exact float round-trip) and
+        run kwargs as JSON.  Anything that cannot be re-materialised from
+        text makes the record ``durable: false`` — journalled for
+        accounting, abandoned on recovery.
+        """
+        try:
+            circuits = [to_qasm(c) for c in circuit_list]
+            kwargs = json.loads(json.dumps(dict(run_kwargs)))
+            if kwargs != dict(run_kwargs):
+                return {"durable": False}
+        except Exception:
+            return {"durable": False}
+        return {"durable": True, "circuits": circuits, "run_kwargs": kwargs}
 
     def submit_many(
         self,
@@ -341,6 +523,11 @@ class SimulationService:
         and run kwargs coincide execute **once**: followers receive the
         primary's results through their own independent Jobs (separately
         cancellable, same fan-out results).
+
+        A malformed textual spec fails **only its own job**: that Job is
+        returned already failed with a
+        :class:`~repro.errors.SpecParseError` (counted as a rejection),
+        and every other spec in the batch is admitted normally.
         """
         specs = list(specs)
         if any(isinstance(s, str) for s in specs):
@@ -348,21 +535,31 @@ class SimulationService:
                 raise ValueError(
                     "concurrency must be positive"
                 )  # lint: config-error
+
+            def _parse(spec):
+                if not isinstance(spec, str):
+                    return spec
+                try:
+                    return parse_circuit_spec(spec)
+                except SpecParseError as exc:
+                    return exc
+
             with ThreadPoolExecutor(max_workers=concurrency) as pool:
-                circuits = list(
-                    pool.map(
-                        lambda s: parse_circuit_spec(s)
-                        if isinstance(s, str)
-                        else s,
-                        specs,
-                    )
-                )
+                circuits = list(pool.map(_parse, specs))
         else:
             circuits = specs
         kwargs_key = tuple(sorted((k, repr(v)) for k, v in run_kwargs.items()))
         jobs: list[Job] = []
         primaries: dict[object, Job] = {}
         for circuit in circuits:
+            if isinstance(circuit, SpecParseError):
+                job = Job.pending(1, tenant=tenant)
+                job._fail(circuit)
+                with self._cond:
+                    self.rejected += 1
+                    self._tenant(tenant).rejected += 1
+                jobs.append(job)
+                continue
             key = (circuit.content_key(), kwargs_key) if dedup else None
             primary = primaries.get(key) if key is not None else None
             if primary is None:
@@ -466,8 +663,10 @@ class SimulationService:
     def _scheduler_loop(self) -> None:
         while True:
             with self._cond:
+                self._heartbeat = time.monotonic()
                 while not self._stop and self._scheduler.pending() == 0:
                     self._cond.wait(timeout=0.5)
+                    self._heartbeat = time.monotonic()
                 if self._stop and self._scheduler.pending() == 0:
                     return
                 entry = self._scheduler.next_job()
@@ -481,10 +680,38 @@ class SimulationService:
                     # Every job of the item was cancelled while queued.
                     self.cancelled += len(item.jobs)
                     stats.cancelled += len(item.jobs)
+                    if self._journal is not None and item.job_id is not None:
+                        self._journal.append(
+                            "cancelled", item.job_id, tenant=tenant
+                        )
                     self._cond.notify_all()
                     continue
                 self._inflight += 1
                 self.dispatched += 1
+                if item.job_id is not None:
+                    self._running_since[item.job_id] = (
+                        time.monotonic(),
+                        item.modelled_seconds,
+                        tenant,
+                    )
+            run_kwargs = dict(item.run_kwargs)
+            if self._journal is not None and item.job_id is not None:
+                # Write-ahead: the transition precedes the execution, so
+                # a crash mid-run replays this job as an orphan.
+                self._journal.append("running", item.job_id, tenant=tenant)
+                # Durable dispatch: stage checkpoints land under the
+                # journal with a per-job tag; recovered jobs resume from
+                # whatever their crashed run already completed.
+                run_kwargs.setdefault(
+                    "checkpoint",
+                    CheckpointConfig(
+                        self._journal.checkpoint_dir, tag=f"job{item.job_id}"
+                    ),
+                )
+                if item.recovered:
+                    run_kwargs.setdefault(
+                        "resume_from", self._journal.checkpoint_dir
+                    )
             started = time.monotonic()
             stats_before = (
                 self.session.stats.cache_hits,
@@ -495,11 +722,26 @@ class SimulationService:
             inner = None
             try:
                 inner = self.session.run(
-                    item.circuits, execute=True, **item.run_kwargs
+                    item.circuits, execute=True, **run_kwargs
                 )
             except BaseException as exc:  # propagate through every Job
                 error = exc
             finished = time.monotonic()
+            if self._journal is not None and item.job_id is not None:
+                if error is None:
+                    self._journal.append(
+                        "completed",
+                        item.job_id,
+                        tenant=tenant,
+                        wall_seconds=finished - started,
+                    )
+                else:
+                    self._journal.append(
+                        "failed",
+                        item.job_id,
+                        tenant=tenant,
+                        error=f"{type(error).__name__}: {error}",
+                    )
             if error is None:
                 results = inner.results()
                 for job in claimed:
@@ -514,6 +756,9 @@ class SimulationService:
                     job._fail(error)
             with self._cond:
                 self._inflight -= 1
+                self._heartbeat = time.monotonic()
+                if item.job_id is not None:
+                    self._running_since.pop(item.job_id, None)
                 delta = (
                     self.session.stats.cache_hits - stats_before[0],
                     self.session.stats.shared_cache_hits - stats_before[1],
@@ -535,6 +780,35 @@ class SimulationService:
                     self.cancelled += skipped
                     stats.cancelled += skipped
                 self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Watchdog thread
+    # ------------------------------------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        """Periodic liveness sweep: flag jobs running far beyond budget.
+
+        A job's budget is ``stuck_grace_seconds + stuck_slack ×
+        modelled_seconds`` (modelled time is known only when the
+        admission policy priced the job; otherwise the grace period
+        alone applies).  Each stuck job is flagged once — the watchdog
+        observes and reports, it never kills work.
+        """
+        while not self._watchdog_stop.wait(self._watchdog_interval):
+            now = time.monotonic()
+            with self._cond:
+                for jid, (started, modelled, tenant) in list(
+                    self._running_since.items()
+                ):
+                    if jid in self._stuck_flagged:
+                        continue
+                    budget = self._stuck_grace_seconds + self._stuck_slack * (
+                        modelled or 0.0
+                    )
+                    if now - started > budget:
+                        self._stuck_flagged.add(jid)
+                        self.stuck_jobs += 1
+                        self._tenant(tenant).stuck_jobs += 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -572,6 +846,21 @@ class SimulationService:
                 "tenants": {
                     name: stats.as_dict()
                     for name, stats in sorted(self._tenants.items())
+                },
+                "journal": (
+                    {
+                        **self._journal.stats(),
+                        "recovered": self.recovered,
+                        "abandoned": self.abandoned,
+                    }
+                    if self._journal is not None
+                    else None
+                ),
+                "watchdog": {
+                    "interval_seconds": self._watchdog_interval,
+                    "heartbeat_age_seconds": time.monotonic() - self._heartbeat,
+                    "running_jobs": len(self._running_since),
+                    "stuck_jobs": self.stuck_jobs,
                 },
                 "shared_store": self.store.stats.as_dict(),
                 "session": self.session.stats.as_dict(),

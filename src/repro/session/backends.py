@@ -33,6 +33,7 @@ backends with :func:`register_backend`.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Iterable, Sequence
 
 from ..baselines import SIMULATORS, BaselineSimulator
@@ -48,6 +49,7 @@ from ..errors import (
     TransientError,
 )
 from ..runtime import faults
+from ..runtime.checkpoint import CheckpointConfig
 from ..runtime.executor import execute_plan, trace_for_program
 from ..runtime.offload import execute_plan_offloaded
 from ..runtime.parallel import ParallelRuntime
@@ -89,6 +91,12 @@ class ExecutionBackend:
     #: leave this off.
     uses_programs: bool = False
 
+    #: Whether the backend understands the durability kwargs
+    #: (``checkpoint=`` / ``resume_from=`` / ``monitor=``).  Only the shard
+    #: executors snapshot stage boundaries; the Session silently skips the
+    #: plumbing for backends without it.
+    supports_checkpoints: bool = False
+
     def run_plan(
         self,
         plan: ExecutionPlan,
@@ -117,20 +125,33 @@ class ExecutionBackend:
         schedule_keys: Sequence[str | None] | None = None,
         programs: Sequence | None = None,
         deadline: Deadline | None = None,
+        checkpoint=None,
+        resume_from=None,
+        monitor=None,
     ) -> list[tuple[StateVector, object]]:
         """Execute many ``(plan, initial_state, circuit)`` problems in order.
 
         The default runs them back to back through :meth:`run_plan`;
         backends with shared runtime state (worker pools, buffers,
         segmentation caches, compiled programs) override this to amortise
-        it.  ``program=`` / ``deadline=`` are only forwarded when present,
-        so third-party backends with older :meth:`run_plan` signatures keep
-        working.
+        it.  ``program=`` / ``deadline=`` / the durability kwargs are only
+        forwarded when present, so third-party backends with older
+        :meth:`run_plan` signatures keep working.
         """
         keys = schedule_keys if schedule_keys is not None else [None] * len(items)
         progs = programs if programs is not None else [None] * len(items)
+        durable = self.supports_checkpoints and (
+            checkpoint is not None or resume_from is not None
+            or monitor is not None
+        )
+        base_ckpt = (
+            CheckpointConfig.coerce(checkpoint)
+            if durable and checkpoint is not None else None
+        )
         out = []
-        for (plan, state, circuit), key, program in zip(items, keys, progs):
+        for i, ((plan, state, circuit), key, program) in enumerate(
+            zip(items, keys, progs)
+        ):
             if deadline is not None:
                 deadline.check("batch item")
             kwargs = dict(initial_state=state, circuit=circuit, schedule_key=key)
@@ -138,6 +159,19 @@ class ExecutionBackend:
                 kwargs["program"] = program
             if deadline is not None:
                 kwargs["deadline"] = deadline
+            if durable:
+                item_ckpt = base_ckpt
+                if base_ckpt is not None and len(items) > 1:
+                    # Per-item tags: batch items sharing a checkpoint
+                    # directory must never overwrite each other's
+                    # snapshots (and each resumes its own).
+                    item_ckpt = dataclasses.replace(
+                        base_ckpt, tag=f"{base_ckpt.tag}-i{i}"
+                    )
+                kwargs.update(
+                    checkpoint=item_ckpt, resume_from=resume_from,
+                    monitor=monitor,
+                )
             out.append(self.run_plan(plan, machine, **kwargs))
         return out
 
@@ -287,14 +321,18 @@ class OffloadBackend(ExecutionBackend):
     """Sequential DRAM shard-streaming executor (one load per stage per shard)."""
 
     name = "offload"
+    supports_checkpoints = True
 
-    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None, deadline=None):
+    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None, deadline=None, checkpoint=None, resume_from=None, monitor=None):
         state, stats = execute_plan_offloaded(
             plan,
             machine,
             initial_state=initial_state,
             deadline=deadline,
             retry=getattr(self, "retry", None),
+            checkpoint=checkpoint,
+            resume_from=resume_from,
+            monitor=monitor,
         )
         self.retries = getattr(self, "retries", 0) + stats.retries
         self.fallbacks = getattr(self, "fallbacks", 0) + stats.fallbacks
@@ -310,6 +348,7 @@ class ParallelBackend(ExecutionBackend):
     """
 
     name = "parallel"
+    supports_checkpoints = True
 
     def __init__(self, num_workers: int | None = None, retry: RetryPolicy | None = None):
         self.num_workers = num_workers
@@ -327,16 +366,18 @@ class ParallelBackend(ExecutionBackend):
             )
         return runtime
 
-    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None, deadline=None):
+    def run_plan(self, plan, machine, initial_state=None, circuit=None, schedule_key=None, program=None, deadline=None, checkpoint=None, resume_from=None, monitor=None):
         return self.runtime_for(machine).execute(
-            plan, initial_state, schedule_key=schedule_key, deadline=deadline
+            plan, initial_state, schedule_key=schedule_key, deadline=deadline,
+            checkpoint=checkpoint, resume_from=resume_from, monitor=monitor,
         )
 
-    def run_batch(self, items, machine, schedule_keys=None, programs=None, deadline=None):
+    def run_batch(self, items, machine, schedule_keys=None, programs=None, deadline=None, checkpoint=None, resume_from=None, monitor=None):
         runtime = self.runtime_for(machine)
         pairs = [(plan, state) for plan, state, _circuit in items]
         return runtime.run_batch(
-            pairs, schedule_keys=schedule_keys, deadline=deadline
+            pairs, schedule_keys=schedule_keys, deadline=deadline,
+            checkpoint=checkpoint, resume_from=resume_from, monitor=monitor,
         )
 
     def schedule_cache_counters(self) -> tuple[int, int]:
@@ -344,6 +385,13 @@ class ParallelBackend(ExecutionBackend):
         hits = sum(r.schedule_cache_hits for r in self._runtimes.values())
         misses = sum(r.schedule_cache_misses for r in self._runtimes.values())
         return hits, misses
+
+    def exec_lock_counters(self) -> tuple[int, float]:
+        """Summed ``(acquisitions, wait_seconds)`` of every owned runtime's
+        exec lock — the pool-convoying signal the service watchdog reads."""
+        acq = sum(r.exec_lock_acquisitions for r in self._runtimes.values())
+        waited = sum(r.exec_lock_wait_seconds for r in self._runtimes.values())
+        return acq, waited
 
     def recovery_counters(self) -> dict:
         return {

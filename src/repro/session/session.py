@@ -146,6 +146,19 @@ class SessionStats:
     #: Static-verification passes run over plans/programs/schedules
     #: (``Session(check="plans"|"full")``; zero when checking is off).
     static_checks: int = 0
+    #: Durability accounting (``docs/robustness.md`` § Durable execution):
+    #: stage-boundary checkpoints written, checkpoint writes that failed
+    #: (advisory — the run continued), integrity-monitor boundary checks
+    #: performed, and the worst relative norm drift observed.
+    checkpoints_written: int = 0
+    checkpoint_errors: int = 0
+    integrity_checks: int = 0
+    max_norm_drift: float = 0.0
+    #: Parallel-runtime exec-lock contention: executions that took the
+    #: lock, and total seconds spent waiting while another job held it —
+    #: the "pool convoying vs stuck job" signal the service watchdog uses.
+    exec_lock_acquisitions: int = 0
+    exec_lock_wait_seconds: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -180,6 +193,12 @@ class SessionStats:
             "faults_injected": self.faults_injected,
             "cache_corruptions": self.cache_corruptions,
             "static_checks": self.static_checks,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_errors": self.checkpoint_errors,
+            "integrity_checks": self.integrity_checks,
+            "max_norm_drift": self.max_norm_drift,
+            "exec_lock_acquisitions": self.exec_lock_acquisitions,
+            "exec_lock_wait_seconds": self.exec_lock_wait_seconds,
         }
 
 
@@ -254,6 +273,15 @@ class Session:
         and, on the sharded backends, the parallel shard schedule
         (:func:`repro.check.verify_schedule`).  Violations raise
         :class:`~repro.errors.StaticCheckError` before anything executes.
+    monitor:
+        Runtime integrity monitoring on the shard backends (see
+        ``docs/robustness.md`` § Durable execution): ``True`` (or an
+        :class:`~repro.runtime.IntegrityConfig`) checks state-norm
+        conservation and inter-stage checksums at every stage boundary,
+        raising :class:`~repro.errors.IntegrityError` on corruption;
+        telemetry lands in ``stats.integrity_checks`` /
+        ``stats.max_norm_drift``.  Off by default (one digest pass over
+        the state per boundary).
 
     Use as a context manager (or call :meth:`close`) to release
     backend-owned worker pools and buffers.  :meth:`close` is idempotent;
@@ -278,6 +306,7 @@ class Session:
         memory_budget_bytes: int | None = None,
         check: str = "off",
         shared_cache: "object | None" = None,
+        monitor: "object | None" = None,
     ):
         if backend != "auto" and backend not in BACKENDS:
             raise ValueError(  # lint: config-error
@@ -323,6 +352,7 @@ class Session:
         self.memory_budget_bytes = memory_budget_bytes
         self.check = check
         self.shared_cache = shared_cache
+        self.monitor = monitor
         #: Serializes ``run``/``plan_for`` so one Session may be shared by
         #: a service scheduler and deferred-job resolvers on other threads
         #: (reentrant: a deferred thunk re-enters ``run`` on its own
@@ -851,6 +881,8 @@ class Session:
         execute: bool = True,
         deadline: "Deadline | float | None" = None,
         normalize: bool = False,
+        checkpoint=None,
+        resume_from=None,
     ) -> Job:
         """Run one circuit or a batch and return a :class:`Job`.
 
@@ -892,6 +924,8 @@ class Session:
                     execute=True,
                     deadline=deadline,
                     normalize=normalize,
+                    checkpoint=checkpoint,
+                    resume_from=resume_from,
                 )
             return Job.deferred(
                 _execute_deferred,
@@ -912,6 +946,8 @@ class Session:
                 execute=True,
                 deadline=deadline,
                 normalize=normalize,
+                checkpoint=checkpoint,
+                resume_from=resume_from,
             )
 
     def _run_locked(
@@ -929,6 +965,8 @@ class Session:
         execute: bool = True,
         deadline: "Deadline | float | None" = None,
         normalize: bool = False,
+        checkpoint=None,
+        resume_from=None,
     ) -> Job:
         """Synchronous core of :meth:`run` (caller holds the session lock).
 
@@ -971,6 +1009,17 @@ class Session:
             without it, non-finite or badly non-normalized initial states
             raise :class:`~repro.errors.StateValidationError` instead of
             silently propagating NaNs through the whole plan.
+        checkpoint / resume_from:
+            Durable execution on the shard backends (``offload`` /
+            ``parallel``; silently ignored elsewhere — an in-core run has
+            no stage boundaries to snapshot).  ``checkpoint`` is a
+            directory path or :class:`~repro.runtime.CheckpointConfig`:
+            the executor durably snapshots the DRAM state at each stage
+            boundary.  ``resume_from`` is a checkpoint file or directory:
+            the run validates the snapshot against the plan's fingerprint
+            and restarts after its last completed stage, bit-exact with
+            an uninterrupted run (corrupt snapshots are evicted, never
+            trusted).  See ``docs/robustness.md`` § Durable execution.
         """
         if self._closed:
             raise SessionClosedError("Session is closed")
@@ -1061,6 +1110,14 @@ class Session:
                         batch_kwargs["programs"] = [item[6] for item in items]
                     if deadline.seconds is not None:
                         batch_kwargs["deadline"] = deadline
+                    if getattr(backend_obj, "supports_checkpoints", False) and (
+                        checkpoint is not None
+                        or resume_from is not None
+                        or self.monitor is not None
+                    ):
+                        batch_kwargs["checkpoint"] = checkpoint
+                        batch_kwargs["resume_from"] = resume_from
+                        batch_kwargs["monitor"] = self.monitor
                     try:
                         outs = backend_obj.run_batch(
                             [(plan, state, circuit) for circuit, state, plan, *_ in items],
@@ -1142,6 +1199,23 @@ class Session:
             hits, misses = backend_obj.schedule_cache_counters()
             self.stats.schedule_cache_hits = hits
             self.stats.schedule_cache_misses = misses
+            acquisitions, waited = backend_obj.exec_lock_counters()
+            self.stats.exec_lock_acquisitions = acquisitions
+            self.stats.exec_lock_wait_seconds = waited
+        for _out_state, exec_stats in outs:
+            self.stats.checkpoints_written += getattr(
+                exec_stats, "checkpoints_written", 0
+            )
+            self.stats.checkpoint_errors += getattr(
+                exec_stats, "checkpoint_errors", 0
+            )
+            self.stats.integrity_checks += getattr(
+                exec_stats, "integrity_checks", 0
+            )
+            self.stats.max_norm_drift = max(
+                self.stats.max_norm_drift,
+                getattr(exec_stats, "max_norm_drift", 0.0),
+            )
         fusion = fusion_cache_stats()
         self.stats.fusion_cache_hits = fusion["hits"] - self._fusion_baseline["hits"]
         self.stats.fusion_cache_misses = (

@@ -103,6 +103,11 @@ def expected_outcome(backend: str, workers, site: str, flavor: str) -> str:
         return "recover"  # evict-and-replan, every backend
     if site == "compile":
         return "recover"  # program/segment-ops fallback, every backend
+    if site in ("checkpoint_write", "checkpoint_load", "journal_append"):
+        # Durability sites are only reached when checkpointing, resume or
+        # journalling is armed — the plain matrix never enables them
+        # (TestDurabilityFaultSites covers the armed paths).
+        return "noop"
     if backend == "incore":
         # No shards, no workers; kernel faults degrade to the interpreter.
         return "recover" if site == "kernel_apply" else "noop"
@@ -165,6 +170,101 @@ class TestFaultMatrix:
             job = session.run(sweep)
             for result, expected in zip(job, reference_states[label]):
                 assert np.array_equal(result.state.data, expected)
+
+
+#: Backends that support stage-boundary checkpoints (the incore executor
+#: has no stage loop to snapshot).
+DURABLE_CONFIGS = [c for c in BACKEND_CONFIGS if c[1] != "incore"]
+
+
+class TestDurabilityFaultSites:
+    """The three durability sites, with durability actually armed."""
+
+    @pytest.mark.parametrize("flavor", ["transient", "permanent"])
+    @pytest.mark.parametrize(
+        "label,backend,workers", DURABLE_CONFIGS, ids=[c[0] for c in DURABLE_CONFIGS]
+    )
+    def test_checkpoint_write_failure_is_advisory(
+        self, machine, sweep, reference_states, tmp_path, label, backend, workers, flavor
+    ):
+        # A failed snapshot loses recoverability, never the run: the job
+        # completes bit-exact and the failure is counted.
+        with make_session(
+            machine, backend, workers, faults=f"checkpoint_write:{flavor}:1"
+        ) as session:
+            injector = session._injector
+            job = session.run(sweep, checkpoint=str(tmp_path))
+            for result, expected in zip(job, reference_states[label]):
+                assert np.array_equal(result.state.data, expected)
+            assert injector.total_fired >= 1
+            assert session.stats.checkpoint_errors >= 1
+            assert session.stats.checkpoints_written >= 1  # later stages ok
+
+    @pytest.mark.parametrize(
+        "label,backend,workers", DURABLE_CONFIGS, ids=[c[0] for c in DURABLE_CONFIGS]
+    )
+    def test_checkpoint_load_corruption_restarts_from_scratch(
+        self, machine, sweep, reference_states, tmp_path, label, backend, workers
+    ):
+        # Directory resume: a checkpoint that fails its load is evicted
+        # and never trusted — the run falls back to earlier checkpoints or
+        # a cold start, still bit-exact.
+        with make_session(machine, backend, workers) as session:
+            session.run(sweep, checkpoint=str(tmp_path))
+        assert list(tmp_path.glob("*.ckpt"))
+        with make_session(
+            machine, backend, workers, faults="checkpoint_load:transient:99"
+        ) as session:
+            injector = session._injector
+            job = session.run(
+                sweep, checkpoint=str(tmp_path), resume_from=str(tmp_path)
+            )
+            for result, expected in zip(job, reference_states[label]):
+                assert np.array_equal(result.state.data, expected)
+            assert injector.total_fired >= 1
+
+    def test_journal_append_transient_is_retried(self, tmp_path):
+        from repro.service import JobJournal, replay_journal
+
+        injector = FaultInjector("journal_append:transient:2")
+        journal = JobJournal(tmp_path, fsync=False)
+        faults.activate(injector)
+        try:
+            assert journal.append("submitted", 0, tenant="t", durable=False)
+        finally:
+            faults.deactivate(injector)
+        journal.close()
+        assert injector.total_fired == 2
+        assert not journal.degraded
+        assert replay_journal(journal.path).records_read == 1
+
+    def test_journal_append_permanent_degrades_not_raises(self, tmp_path):
+        from repro.errors import IntegrityError
+        from repro.service import JobJournal
+
+        injector = FaultInjector("journal_append:permanent:99")
+        journal = JobJournal(tmp_path, fsync=False)
+        faults.activate(injector)
+        try:
+            assert not journal.append("submitted", 0, tenant="t", durable=False)
+        finally:
+            faults.deactivate(injector)
+        assert journal.degraded
+        assert journal.append_errors == 1
+        # Degraded journals swallow subsequent appends without touching
+        # the (possibly failing) disk.
+        assert not journal.append("running", 0, tenant="t")
+        journal.close()
+
+        strict = JobJournal(tmp_path / "strict", fsync=False, strict=True)
+        injector = FaultInjector("journal_append:permanent:1")
+        faults.activate(injector)
+        try:
+            with pytest.raises(IntegrityError):
+                strict.append("submitted", 0, tenant="t", durable=False)
+        finally:
+            faults.deactivate(injector)
+        strict.close()
 
 
 class TestWorkerSupervision:

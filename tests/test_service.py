@@ -325,6 +325,22 @@ class TestService:
                 job.result(timeout=60)
             assert svc.stats()["deduplicated"] == 1
 
+    def test_submit_many_malformed_spec_fails_only_its_job(self, machine):
+        from repro.errors import SpecParseError
+
+        with SimulationService(machine) as svc:
+            jobs = svc.submit_many(
+                [f"vqc:{N}", "no_such_family:5", vqc(N, seed=9)], tenant="t"
+            )
+            assert len(jobs) == 3
+            with pytest.raises(SpecParseError):
+                jobs[1].result(timeout=60)
+            assert jobs[0].result(timeout=60).state is not None
+            assert jobs[2].result(timeout=60).state is not None
+        stats = svc.stats()
+        assert stats["rejected"] == 1
+        assert stats["tenants"]["t"]["rejected"] == 1
+
     def test_late_tenant_not_starved_by_flood(self, machine):
         with SimulationService(machine) as svc:
             flood = [svc.submit(vqc(N, seed=i), tenant="flood") for i in range(30)]
